@@ -1,0 +1,131 @@
+//! Behavioural contracts of each baseline, checked against the mechanisms
+//! the paper attributes to them.
+
+use sentinel_baselines::{run_baseline, Baseline, SwapAdvisor, Vdnn};
+use sentinel_dnn::Executor;
+use sentinel_mem::{HmConfig, MemorySystem, Tier};
+use sentinel_models::{ModelSpec, ModelZoo};
+
+fn cnn() -> sentinel_dnn::Graph {
+    ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap()
+}
+
+fn constrained(g: &sentinel_dnn::Graph, fraction: u64) -> HmConfig {
+    HmConfig::optane_like()
+        .without_cache()
+        .with_fast_capacity(g.peak_live_bytes() / fraction)
+}
+
+#[test]
+fn first_touch_is_order_dependent() {
+    // First-touch fills fast memory in allocation order: early tensors land
+    // fast, late ones slow. Verify weights (allocated first) are fast.
+    let g = cnn();
+    let cfg = constrained(&g, 5);
+    let mut policy = Baseline::FirstTouch.make(&g, &cfg).unwrap();
+    let mut exec = Executor::new(&g, MemorySystem::new(cfg));
+    exec.train_begin(policy.as_mut()).unwrap();
+    let first_weight = g.preallocated().next().unwrap();
+    assert!(exec.ctx().tensor_bytes_in(first_weight.id, Tier::Fast) > 0);
+}
+
+#[test]
+fn memory_mode_touches_no_fast_pages_directly() {
+    // In Memory Mode all pages are mapped to PMM; DRAM acts only as a cache.
+    let g = cnn();
+    let cfg = constrained(&g, 5);
+    let mut policy = Baseline::MemoryModeCache.make(&g, &cfg).unwrap();
+    let mut exec = Executor::new(&g, MemorySystem::new(cfg));
+    exec.run_step(policy.as_mut()).unwrap();
+    assert_eq!(exec.ctx().mem().used_pages(Tier::Fast), 0);
+    assert!(exec.ctx().mem().memory_mode_stats().unwrap().hits > 0);
+}
+
+#[test]
+fn ial_promotes_only_on_repeated_touch() {
+    // A single access does not promote; IAL needs the activity signal.
+    let g = cnn();
+    let cfg = constrained(&g, 5);
+    let r = run_baseline(Baseline::Ial, &g, &cfg, 3).unwrap().unwrap();
+    // It migrates, but far less than everything-on-every-touch would.
+    let step = r.steps.last().unwrap();
+    assert!(step.promoted_bytes > 0);
+    assert!(step.promoted_bytes < 3 * g.peak_live_bytes());
+}
+
+#[test]
+fn autotm_is_deterministic_and_static() {
+    let g = cnn();
+    let cfg = constrained(&g, 5);
+    let a = run_baseline(Baseline::AutoTm, &g, &cfg, 3).unwrap().unwrap();
+    let b = run_baseline(Baseline::AutoTm, &g, &cfg, 3).unwrap().unwrap();
+    assert_eq!(a.steps, b.steps, "static plan must be deterministic");
+    // Steady-state steps repeat exactly: the plan never adapts.
+    assert_eq!(a.steps[1].duration_ns, a.steps[2].duration_ns);
+}
+
+#[test]
+fn um_migration_is_fully_exposed() {
+    let g = cnn();
+    let cfg = HmConfig::gpu_like()
+        .without_cache()
+        .with_fast_capacity(g.peak_live_bytes() / 3);
+    let r = run_baseline(Baseline::UnifiedMemory, &g, &cfg, 3).unwrap().unwrap();
+    let s = r.steps.last().unwrap();
+    // Essentially all migration time shows up as stall: UM never overlaps.
+    let transfer_ns = (s.promoted_bytes + s.demoted_bytes) as f64 / 12.0;
+    assert!(
+        s.breakdown.stall_ns as f64 > 0.8 * transfer_ns,
+        "UM stall {} should cover transfers {}",
+        s.breakdown.stall_ns,
+        transfer_ns
+    );
+}
+
+#[test]
+fn vdnn_manages_only_conv_inputs() {
+    let g = cnn();
+    let cfg = HmConfig::gpu_like()
+        .without_cache()
+        .with_fast_capacity(g.peak_live_bytes() * 3 / 4);
+    let mut p = Vdnn::for_graph(&g).unwrap();
+    let mut exec = Executor::new(&g, MemorySystem::new(cfg));
+    let r = exec.run(&mut p, 3).unwrap();
+    // It offloads (demotes) during forward and prefetches back.
+    let s = r.steps.last().unwrap();
+    assert!(s.demoted_bytes > 0);
+    assert!(s.promoted_bytes > 0);
+}
+
+#[test]
+fn swapadvisor_plan_scales_with_pressure() {
+    let g = cnn();
+    let loose = SwapAdvisor::plan_for(&g, g.peak_live_bytes() * 4, 12.0);
+    let tight = SwapAdvisor::plan_for(&g, g.peak_live_bytes() / 8, 12.0);
+    assert!(tight.swapped_count() >= loose.swapped_count());
+}
+
+#[test]
+fn capuchin_recompute_appears_only_under_bandwidth_starvation() {
+    let g = cnn();
+    let mut roomy = HmConfig::gpu_like().without_cache().with_fast_capacity(g.peak_live_bytes() / 2);
+    let normal = run_baseline(Baseline::Capuchin, &g, &roomy, 3).unwrap().unwrap();
+    roomy.promote_bw_bytes_per_ns = 0.02;
+    roomy.demote_bw_bytes_per_ns = 0.02;
+    let starved = run_baseline(Baseline::Capuchin, &g, &roomy, 3).unwrap().unwrap();
+    assert!(
+        starved.steady_breakdown().recompute_ns >= normal.steady_breakdown().recompute_ns,
+        "starved {} vs normal {}",
+        starved.steady_breakdown().recompute_ns,
+        normal.steady_breakdown().recompute_ns
+    );
+}
+
+#[test]
+fn baseline_names_are_unique() {
+    let names: Vec<&str> = Baseline::all().iter().map(|b| b.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len());
+}

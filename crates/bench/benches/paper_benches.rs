@@ -1,0 +1,140 @@
+//! Criterion benchmarks: one group per paper table/figure (run on scaled
+//! models so the suite stays fast) plus micro-benchmarks of the runtime's
+//! hot components. The full-size numbers behind EXPERIMENTS.md come from
+//! `cargo run -p sentinel-bench --release --bin run_experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sentinel_baselines::{run_baseline, Baseline};
+use sentinel_core::{fast_sized_for, solve_mil, Schedule, SentinelConfig, SentinelRuntime};
+use sentinel_dnn::{PoolSpec, SegmentAllocator};
+use sentinel_mem::{Direction, HmConfig, MemorySystem, MigrationEngine, PageRange};
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_profiler::Profiler;
+use std::hint::black_box;
+
+fn bench_spec() -> ModelSpec {
+    ModelSpec::resnet(32, 16).with_scale(4)
+}
+
+/// Figure 7 driver: one Sentinel training run at 20% fast.
+fn fig7_sentinel_small_batch(c: &mut Criterion) {
+    let graph = ModelZoo::build(&bench_spec()).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    c.bench_function("fig7/sentinel_resnet32_20pct", |b| {
+        b.iter(|| {
+            let o = SentinelRuntime::new(SentinelConfig::default(), hm.clone())
+                .train(black_box(&graph), 4)
+                .unwrap();
+            black_box(o.report.steady_step_ns())
+        })
+    });
+}
+
+/// Figure 7 driver: the IAL and AutoTM comparison points.
+fn fig7_baselines(c: &mut Criterion) {
+    let graph = ModelZoo::build(&bench_spec()).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    for baseline in [Baseline::Ial, Baseline::AutoTm, Baseline::SlowOnly] {
+        c.bench_function(&format!("fig7/{}_resnet32_20pct", baseline.name()), |b| {
+            b.iter(|| {
+                let r = run_baseline(baseline, black_box(&graph), &hm, 3).unwrap().unwrap();
+                black_box(r.steady_step_ns())
+            })
+        });
+    }
+}
+
+/// Figure 12 driver: Sentinel-GPU under device-memory pressure.
+fn fig12_sentinel_gpu(c: &mut Criterion) {
+    let graph = ModelZoo::build(&bench_spec()).unwrap();
+    let hm = fast_sized_for(HmConfig::gpu_like(), &graph, 0.6);
+    c.bench_function("fig12/sentinel_gpu_resnet32_60pct", |b| {
+        b.iter(|| {
+            let o = SentinelRuntime::new(SentinelConfig::gpu(), hm.clone())
+                .train(black_box(&graph), 4)
+                .unwrap();
+            black_box(o.report.steady_step_ns())
+        })
+    });
+}
+
+/// Section III driver: the tensor-level profiling step (Table III column).
+fn profiling_step(c: &mut Criterion) {
+    let graph = ModelZoo::build(&bench_spec()).unwrap();
+    c.bench_function("table3/profiling_step_resnet32", |b| {
+        b.iter(|| {
+            let r = Profiler::new(HmConfig::optane_like()).profile(black_box(&graph)).unwrap();
+            black_box(r.faults)
+        })
+    });
+}
+
+/// Figure 5 driver: the Eq. 1/2 interval solver.
+fn mil_solver(c: &mut Criterion) {
+    let graph = ModelZoo::build(&bench_spec()).unwrap();
+    let schedule = Schedule::new(&graph);
+    let profile = Profiler::new(HmConfig::optane_like()).profile(&graph).unwrap();
+    let fast = graph.peak_live_bytes() / 5;
+    c.bench_function("fig5/mil_solver_resnet32", |b| {
+        b.iter(|| {
+            let sol = solve_mil(
+                black_box(&graph),
+                &schedule,
+                &profile,
+                fast,
+                fast / 10,
+                10.0,
+            );
+            black_box(sol.mil)
+        })
+    });
+}
+
+/// Micro: pooled allocator throughput (alloc+free pairs).
+fn allocator_micro(c: &mut Criterion) {
+    c.bench_function("micro/allocator_alloc_free_1k", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 28));
+            let mut alloc = SegmentAllocator::new(4096);
+            let mut live = Vec::with_capacity(64);
+            for i in 0..1000u64 {
+                let spec = PoolSpec::packed(i % 4);
+                live.push(alloc.alloc(&mut mem, spec, 1000 + (i % 7) * 900));
+                if live.len() > 32 {
+                    let a = live.remove(0);
+                    alloc.free(&a);
+                }
+            }
+            black_box(alloc.live_bytes())
+        })
+    });
+}
+
+/// Micro: migration engine enqueue/drain throughput.
+fn migration_engine_micro(c: &mut Criterion) {
+    c.bench_function("micro/migration_engine_1k_batches", |b| {
+        b.iter(|| {
+            let mut e = MigrationEngine::new(10.0, 10.0, 100, 4096);
+            for i in 0..1000u64 {
+                let dir = if i % 2 == 0 { Direction::Promote } else { Direction::Demote };
+                e.enqueue(PageRange::new(i * 8, 8), dir, i * 50);
+                if i % 16 == 0 {
+                    black_box(e.drain_completed(i * 50).len());
+                }
+            }
+            black_box(e.quiescent_at())
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = fig7_sentinel_small_batch, fig7_baselines, fig12_sentinel_gpu, profiling_step, mil_solver
+}
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = allocator_micro, migration_engine_micro
+}
+criterion_main!(paper, micro);

@@ -1,0 +1,30 @@
+//! Quick GPU-platform shape check (Figure 12 ordering).
+use sentinel_baselines::{run_baseline, Baseline};
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel_mem::HmConfig;
+use sentinel_models::{ModelSpec, ModelZoo};
+
+fn main() {
+    for spec in [ModelSpec::resnet(50, 16), ModelSpec::bert_base(8)] {
+        let g = ModelZoo::build(&spec).unwrap();
+        let cfg = fast_sized_for(HmConfig::gpu_like(), &g, 0.8);
+        let um = run_baseline(Baseline::UnifiedMemory, &g, &cfg, 4).unwrap().unwrap();
+        let s = |ns: u64| um.steady_step_ns() as f64 / ns as f64; // speedup over UM
+        let vdnn = run_baseline(Baseline::Vdnn, &g, &cfg, 4).unwrap();
+        let sa = run_baseline(Baseline::SwapAdvisor, &g, &cfg, 4).unwrap().unwrap();
+        let autotm = run_baseline(Baseline::AutoTm, &g, &cfg, 4).unwrap().unwrap();
+        let cap = run_baseline(Baseline::Capuchin, &g, &cfg, 4).unwrap().unwrap();
+        let sentinel = SentinelRuntime::new(SentinelConfig::gpu(), cfg.clone()).train(&g, 8).unwrap();
+        println!(
+            "{} peak={}MiB mil={} | vs UM: vdnn={} swapadvisor={:.2} autotm={:.2} capuchin={:.2} sentinel={:.2}",
+            g.name(),
+            g.peak_live_bytes() >> 20,
+            sentinel.stats.mil,
+            vdnn.map(|r| format!("{:.2}", s(r.steady_step_ns()))).unwrap_or_else(|| "n/a".into()),
+            s(sa.steady_step_ns()),
+            s(autotm.steady_step_ns()),
+            s(cap.steady_step_ns()),
+            s(sentinel.report.steady_step_ns()),
+        );
+    }
+}

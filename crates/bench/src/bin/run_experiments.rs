@@ -1,0 +1,71 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p sentinel-bench --release --bin run_experiments            # full suite
+//! cargo run -p sentinel-bench --release --bin run_experiments -- --fast  # quick pass
+//! cargo run -p sentinel-bench --release --bin run_experiments -- fig7    # one experiment
+//! ```
+//!
+//! Writes `results/<id>.json` per experiment and assembles
+//! `EXPERIMENTS_GENERATED.md` with every rendered table.
+
+use sentinel_bench::{experiment_registry, ExpConfig};
+use std::fs;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = ExpConfig { fast };
+
+    fs::create_dir_all("results").expect("create results dir");
+    let started = Instant::now();
+    let mut sections = Vec::new();
+
+    // Run experiments one at a time so partial progress is visible and saved.
+    let registry = experiment_registry();
+    println!(
+        "running up to {} experiments ({} mode)...",
+        registry.len(),
+        if fast { "fast" } else { "full" }
+    );
+    for (id, generator) in registry {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let result = generator(&cfg);
+        let json = serde_json::to_string_pretty(&result).expect("serialize");
+        fs::write(format!("results/{}.json", result.id), json).expect("write json");
+        println!("  [{}] {} ({:.1}s elapsed)", result.id, result.title, started.elapsed().as_secs_f64());
+        sections.push(result);
+    }
+
+    if filter.is_empty() {
+        let mut md = String::from(
+            "# Generated experiment results\n\nProduced by `cargo run -p sentinel-bench --release --bin run_experiments`.\nSee `EXPERIMENTS.md` for the paper-vs-measured discussion.\n",
+        );
+        for s in &sections {
+            md.push_str(&format!("\n## {}\n\n{}\n", s.title, s.markdown));
+        }
+        let mut f = fs::File::create("EXPERIMENTS_GENERATED.md").expect("create md");
+        f.write_all(md.as_bytes()).expect("write md");
+        println!(
+            "wrote EXPERIMENTS_GENERATED.md and results/*.json in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+    } else if sections.is_empty() {
+        eprintln!(
+            "no experiment matched the filter; known ids: {}",
+            experiment_registry().iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    } else {
+        println!(
+            "(filtered run: {} results/*.json updated in {:.1}s; EXPERIMENTS_GENERATED.md left as-is)",
+            sections.len(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

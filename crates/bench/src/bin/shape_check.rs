@@ -1,0 +1,53 @@
+//! Quick shape check: Sentinel vs baselines at 20% fast memory.
+use sentinel_baselines::{run_baseline, Baseline};
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel_mem::HmConfig;
+use sentinel_models::{ModelSpec, ModelZoo};
+
+fn main() {
+    for spec in [
+        ModelSpec::resnet(32, 64),
+        ModelSpec::lstm(32),
+        ModelSpec::mobilenet(16),
+    ] {
+        let g = ModelZoo::build(&spec).unwrap();
+        let base = HmConfig::optane_like();
+        let cfg = fast_sized_for(base.clone(), &g, 0.2);
+        let slow = run_baseline(Baseline::SlowOnly, &g, &cfg, 4).unwrap().unwrap();
+        let fast = run_baseline(Baseline::FastOnly, &g, &fast_sized_for(base.clone(), &g, 1.2), 4)
+            .unwrap()
+            .unwrap();
+        let ial = run_baseline(Baseline::Ial, &g, &cfg, 4).unwrap().unwrap();
+        let autotm = run_baseline(Baseline::AutoTm, &g, &cfg, 4).unwrap().unwrap();
+        let ft = run_baseline(Baseline::FirstTouch, &g, &cfg, 4).unwrap().unwrap();
+        let mm = run_baseline(Baseline::MemoryModeCache, &g, &cfg, 4).unwrap().unwrap();
+        let sentinel =
+            SentinelRuntime::new(SentinelConfig::default(), cfg.clone()).train(&g, 8).unwrap();
+        let s = |ns: u64| slow.steady_step_ns() as f64 / ns as f64; // speedup over slow-only
+        println!(
+            "{} peak={}MiB layers={} mil={}",
+            g.name(),
+            g.peak_live_bytes() >> 20,
+            g.num_layers(),
+            sentinel.stats.mil
+        );
+        println!(
+            "  speedup over slow-only: fast={:.2} sentinel={:.2} autotm={:.2} ial={:.2} first-touch={:.2} memmode={:.2}",
+            s(fast.steady_step_ns()),
+            s(sentinel.report.steady_step_ns()),
+            s(autotm.steady_step_ns()),
+            s(ial.steady_step_ns()),
+            s(ft.steady_step_ns()),
+            s(mm.steady_step_ns())
+        );
+        println!(
+            "  migrated/step MiB: sentinel={} autotm={} ial={}  case2={} case3={} trials={}",
+            sentinel.report.steady_migrated_bytes() >> 20,
+            autotm.steady_migrated_bytes() >> 20,
+            ial.steady_migrated_bytes() >> 20,
+            sentinel.stats.case2_events,
+            sentinel.stats.case3_events,
+            sentinel.stats.trial_steps
+        );
+    }
+}

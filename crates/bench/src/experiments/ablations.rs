@@ -1,0 +1,66 @@
+//! Extra ablation study (beyond the paper's Figure 13): isolate each of
+//! Sentinel's design choices called out in DESIGN.md.
+
+use crate::harness::{fx, run_sentinel_with, ExpConfig, ExpResult};
+use sentinel_core::{Case3Policy, SentinelConfig};
+use sentinel_mem::{HmConfig, MILLISECOND};
+use sentinel_models::ModelSpec;
+use serde::Serialize;
+
+/// Sweep the design-choice switches one at a time on ResNet-32 at 20% fast.
+#[must_use]
+pub fn ablations(cfg: &ExpConfig) -> ExpResult {
+    #[derive(Serialize)]
+    struct Row {
+        variant: String,
+        step_ms: f64,
+        slowdown_vs_full: f64,
+        migrated_mib: u64,
+        case3: u64,
+    }
+    let spec = ModelSpec::resnet(32, 64).with_scale(cfg.scale());
+    let variants: Vec<(&str, SentinelConfig)> = vec![
+        ("full sentinel", SentinelConfig::default()),
+        ("no co-allocation", SentinelConfig { coallocate: false, ..SentinelConfig::default() }),
+        (
+            "no short-lived reservation",
+            SentinelConfig { reserve_short_lived: false, ..SentinelConfig::default() },
+        ),
+        ("FIFO prefetch order", SentinelConfig { hot_first: false, ..SentinelConfig::default() }),
+        ("case-3 always-wait", SentinelConfig { case3: Case3Policy::AlwaysWait, ..SentinelConfig::default() }),
+        ("case-3 always-leave", SentinelConfig { case3: Case3Policy::AlwaysLeave, ..SentinelConfig::default() }),
+        ("no lookahead (direct)", SentinelConfig { lookahead: false, mil_override: Some(1), ..SentinelConfig::default() }),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut full_ns = 0u64;
+    for (name, scfg) in variants {
+        let o = run_sentinel_with(&spec, scfg, HmConfig::optane_like(), 0.2, cfg.steps())
+            .expect("sentinel runs");
+        let ns = o.report.steady_step_ns();
+        if full_ns == 0 {
+            full_ns = ns;
+        }
+        rows.push(Row {
+            variant: name.to_owned(),
+            step_ms: ns as f64 / MILLISECOND as f64,
+            slowdown_vs_full: ns as f64 / full_ns as f64,
+            migrated_mib: o.report.steady_migrated_bytes() >> 20,
+            case3: o.stats.case3_events,
+        });
+    }
+    let mut md = String::from(
+        "| Variant | Step (ms) | vs full | Migrated/step | Case-3 events |\n|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {:.2} | {} | {} MiB | {} |\n",
+            r.variant,
+            r.step_ms,
+            fx(r.slowdown_vs_full),
+            r.migrated_mib,
+            r.case3
+        ));
+    }
+    md.push_str("\nResNet-32 at fast = 20% of peak, each design switch disabled in isolation.\n");
+    ExpResult::new("ablations", "Extra — single-switch ablation study", md, &rows)
+}

@@ -1,0 +1,347 @@
+//! Tables I–V of the paper.
+
+use crate::harness::{fx, mib, run_cpu_baseline, run_sentinel, ExpConfig, ExpResult};
+use sentinel_baselines::{Baseline, PolicyTraits};
+
+use sentinel_mem::HmConfig;
+use sentinel_models::{ModelSpec, ModelZoo};
+use serde::Serialize;
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Table I: qualitative comparison of memory-management systems.
+#[must_use]
+pub fn table1(_cfg: &ExpConfig) -> ExpResult {
+    #[derive(Serialize)]
+    struct Row {
+        system: String,
+        traits: PolicyTraits,
+    }
+    let mut rows: Vec<Row> = [Baseline::Vdnn, Baseline::AutoTm, Baseline::SwapAdvisor, Baseline::Capuchin, Baseline::Ial]
+        .iter()
+        .map(|b| Row { system: b.name().to_owned(), traits: b.traits() })
+        .collect();
+    rows.push(Row { system: "sentinel".into(), traits: PolicyTraits::sentinel() });
+
+    let mut md = String::from(
+        "| System | Dynamic profiling | Minimizes fast memory | Graph agnostic | Counts memory accesses | Avoids false sharing |\n|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.system,
+            flag(r.traits.dynamic_profiling),
+            flag(r.traits.minimizes_fast_memory),
+            flag(r.traits.graph_agnostic),
+            flag(r.traits.counts_memory_accesses),
+            flag(r.traits.avoids_false_sharing),
+        ));
+    }
+    ExpResult::new("table1", "Table I — qualitative comparison", md, &rows)
+}
+
+/// Table II: the two simulated platforms.
+#[must_use]
+pub fn table2(_cfg: &ExpConfig) -> ExpResult {
+    let platforms = [HmConfig::optane_like(), HmConfig::gpu_like()];
+    let mut md = String::from(
+        "| Platform | Fast tier | Slow tier | Migration BW (→fast/→slow) | Compute |\n|---|---|---|---|---|\n",
+    );
+    for p in &platforms {
+        md.push_str(&format!(
+            "| {} | {} GiB, {}/{} GB/s r/w, {} ns | {} GiB, {}/{} GB/s r/w, {} ns | {}/{} GB/s | {} GFLOP/s |\n",
+            p.name,
+            p.fast.capacity_bytes >> 30,
+            p.fast.read_bw_bytes_per_ns,
+            p.fast.write_bw_bytes_per_ns,
+            p.fast.read_latency_ns,
+            p.slow.capacity_bytes >> 30,
+            p.slow.read_bw_bytes_per_ns,
+            p.slow.write_bw_bytes_per_ns,
+            p.slow.read_latency_ns,
+            p.promote_bw_bytes_per_ns,
+            p.demote_bw_bytes_per_ns,
+            p.compute_flops_per_ns,
+        ));
+    }
+    ExpResult::new("table2", "Table II — simulated platform configurations", md, &platforms)
+}
+
+/// Table III: models, peak memory, chosen MIL, profiling/test-and-trial
+/// steps and the profiling memory overhead.
+#[must_use]
+pub fn table3(cfg: &ExpConfig) -> ExpResult {
+    #[derive(Serialize)]
+    struct Row {
+        model: String,
+        batch: u32,
+        layers: usize,
+        tensors: usize,
+        peak_bytes: u64,
+        mil: usize,
+        profiling_steps: u64,
+        trial_steps: u64,
+        case3_events: u64,
+        profiling_overhead_pct: f64,
+    }
+    let mut rows = Vec::new();
+    for spec in cfg.small_batch_models() {
+        let graph = ModelZoo::build(&spec).expect("model builds");
+        let outcome = run_sentinel(&spec, 0.2, cfg.steps()).expect("sentinel runs");
+        // Memory overhead of page-aligned profiling: rounding every tensor
+        // up to whole pages versus the packed peak.
+        let page = 4096u64;
+        let aligned_peak: u64 = {
+            let layers = graph.num_layers();
+            (0..layers)
+                .map(|l| {
+                    graph
+                        .tensors()
+                        .iter()
+                        .filter(|t| t.live_in_layer(l))
+                        .map(|t| t.bytes.div_ceil(page) * page)
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let peak = graph.peak_live_bytes();
+        rows.push(Row {
+            model: graph.name().to_owned(),
+            batch: spec.batch,
+            layers: graph.num_layers(),
+            tensors: graph.num_tensors(),
+            peak_bytes: peak,
+            mil: outcome.stats.mil,
+            profiling_steps: outcome.stats.profiling_steps,
+            trial_steps: outcome.stats.trial_steps,
+            case3_events: outcome.stats.case3_events,
+            profiling_overhead_pct: (aligned_peak as f64 / peak as f64 - 1.0) * 100.0,
+        });
+    }
+    let mut md = String::from(
+        "| Model | Batch | Layers | Tensors | Peak memory | MIL | Profiling steps | Trial steps | Case-3 events | Profiling mem overhead |\n|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1}% |\n",
+            r.model,
+            r.batch,
+            r.layers,
+            r.tensors,
+            mib(r.peak_bytes),
+            r.mil,
+            r.profiling_steps,
+            r.trial_steps,
+            r.case3_events,
+            r.profiling_overhead_pct,
+        ));
+    }
+    ExpResult::new("table3", "Table III — evaluated models and Sentinel runtime counters", md, &rows)
+}
+
+/// Table IV: tensor bytes migrated per steady-state step.
+#[must_use]
+pub fn table4(cfg: &ExpConfig) -> ExpResult {
+    #[derive(Serialize)]
+    struct Row {
+        model: String,
+        ial_bytes: u64,
+        autotm_bytes: u64,
+        sentinel_bytes: u64,
+    }
+    let mut rows = Vec::new();
+    for spec in cfg.small_batch_models() {
+        let ial = run_cpu_baseline(Baseline::Ial, &spec, 0.2, cfg.baseline_steps())
+            .expect("ial runs")
+            .expect("ial applies");
+        let autotm = run_cpu_baseline(Baseline::AutoTm, &spec, 0.2, cfg.baseline_steps())
+            .expect("autotm runs")
+            .expect("autotm applies");
+        let sentinel = run_sentinel(&spec, 0.2, cfg.steps()).expect("sentinel runs");
+        rows.push(Row {
+            model: spec.name(),
+            ial_bytes: ial.steady_migrated_bytes(),
+            autotm_bytes: autotm.steady_migrated_bytes(),
+            sentinel_bytes: sentinel.report.steady_migrated_bytes(),
+        });
+    }
+    let mut md = String::from(
+        "| Model | IAL | AutoTM | Sentinel |\n|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.model,
+            mib(r.ial_bytes),
+            mib(r.autotm_bytes),
+            mib(r.sentinel_bytes),
+        ));
+    }
+    md.push_str("\nMigrated tensor bytes per steady-state training step at fast = 20% of peak.\n");
+    ExpResult::new("table4", "Table IV — migrated bytes per training step", md, &rows)
+}
+
+/// Analytic fast-memory requirement of a policy class on one graph: the
+/// bytes that *must* be device-resident simultaneously.
+fn required_fast_bytes(graph: &sentinel_dnn::Graph, policy: &str) -> u64 {
+    use sentinel_baselines::conv_input_activations;
+    let layers = graph.num_layers();
+    let live_at = |l: usize| -> u64 {
+        graph.tensors().iter().filter(|t| t.live_in_layer(l)).map(|t| t.bytes).sum()
+    };
+    match policy {
+        // Plain TensorFlow: everything lives on the device.
+        "tensorflow" => graph.peak_live_bytes(),
+        // vDNN: conv-input activations may be off-device while idle.
+        "vdnn" => {
+            let offload = conv_input_activations(graph);
+            (0..layers)
+                .map(|l| {
+                    let idle_offloadable: u64 = offload
+                        .iter()
+                        .map(|&t| graph.tensor(t))
+                        .filter(|t| t.live_in_layer(l))
+                        .filter(|t| {
+                            // idle: not referenced in this layer
+                            !graph.layers()[l].ops.iter().any(|o| o.referenced().any(|x| x == t.id))
+                        })
+                        .map(|t| t.bytes)
+                        .sum();
+                    live_at(l).saturating_sub(idle_offloadable)
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        // SwapAdvisor: any long-lived tensor ≥ a page with a gap may swap.
+        "swapadvisor" => {
+            (0..layers)
+                .map(|l| {
+                    let idle_swappable: u64 = graph
+                        .tensors()
+                        .iter()
+                        .filter(|t| !t.is_short_lived() && !t.preallocated() && t.bytes >= 4096)
+                        .filter(|t| t.live_in_layer(l))
+                        .filter(|t| {
+                            !graph.layers()[l].ops.iter().any(|o| o.referenced().any(|x| x == t.id))
+                        })
+                        .map(|t| t.bytes)
+                        .sum();
+                    live_at(l).saturating_sub(idle_swappable)
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        // AutoTM / Capuchin / Sentinel: only the per-layer working set (all
+        // referenced tensors plus concurrent short-lived scratch) must fit.
+        _ => (0..layers)
+            .map(|l| {
+                let referenced: u64 = graph.layers()[l]
+                    .ops
+                    .iter()
+                    .flat_map(|o| o.referenced())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .iter()
+                    .map(|&t| graph.tensor(t).bytes)
+                    .sum();
+                referenced
+            })
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// Table V: maximum trainable batch size per system at fixed device memory.
+#[must_use]
+pub fn table5(cfg: &ExpConfig) -> ExpResult {
+    #[derive(Serialize)]
+    struct Row {
+        model: String,
+        device_bytes: u64,
+        tensorflow: u32,
+        vdnn: Option<u32>,
+        swapadvisor: u32,
+        autotm: u32,
+        capuchin: u32,
+        sentinel: u32,
+    }
+    let policies = ["tensorflow", "vdnn", "swapadvisor", "autotm", "capuchin", "sentinel"];
+    let mut rows = Vec::new();
+    for (name, specs) in cfg.gpu_models() {
+        // Device memory: sized so the middle batch is right at the TF limit.
+        let mid = ModelZoo::build(&specs[1]).expect("model builds");
+        let device = mid.peak_live_bytes();
+        let base = specs[0];
+
+        let max_batch = |policy: &str| -> u32 {
+            let mut batch = 1u32;
+            let mut last_ok = 0u32;
+            // Exponential probe then binary search.
+            while batch <= 4096 {
+                let g = ModelZoo::build(&ModelSpec { batch, ..base }).expect("model builds");
+                if required_fast_bytes(&g, policy) <= device {
+                    last_ok = batch;
+                    batch *= 2;
+                } else {
+                    break;
+                }
+            }
+            let (mut lo, mut hi) = (last_ok, batch.min(4096));
+            while lo + 1 < hi {
+                let mid = (lo + hi) / 2;
+                let g = ModelZoo::build(&ModelSpec { batch: mid, ..base }).expect("model builds");
+                if required_fast_bytes(&g, policy) <= device {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+
+        let has_conv = {
+            let g = ModelZoo::build(&base).expect("model builds");
+            sentinel_baselines::has_conv(&g)
+        };
+        let vals: Vec<u32> = policies.iter().map(|p| max_batch(p)).collect();
+        rows.push(Row {
+            model: name,
+            device_bytes: device,
+            tensorflow: vals[0],
+            vdnn: has_conv.then_some(vals[1]),
+            swapadvisor: vals[2],
+            autotm: vals[3],
+            capuchin: vals[4],
+            sentinel: vals[5],
+        });
+    }
+    let mut md = String::from(
+        "| Model | Device memory | TensorFlow | vDNN | SwapAdvisor | AutoTM | Capuchin | Sentinel-GPU |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.model,
+            mib(r.device_bytes),
+            r.tensorflow,
+            r.vdnn.map_or("n/a".to_owned(), |v| v.to_string()),
+            r.swapadvisor,
+            r.autotm,
+            r.capuchin,
+            r.sentinel,
+        ));
+    }
+    let gains: Vec<f64> = rows
+        .iter()
+        .map(|r| r.sentinel as f64 / r.tensorflow.max(1) as f64)
+        .collect();
+    let mean_gain = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
+    md.push_str(&format!("\nMean Sentinel batch-size gain over plain TensorFlow: {}.\n", fx(mean_gain)));
+    ExpResult::new("table5", "Table V — maximum batch size at fixed device memory", md, &rows)
+}

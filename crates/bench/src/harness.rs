@@ -1,0 +1,195 @@
+//! Shared experiment infrastructure: configurations, runners, result types.
+
+use sentinel_baselines::{run_baseline, Baseline};
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelOutcome, SentinelRuntime};
+use sentinel_dnn::{ExecError, TrainReport};
+use sentinel_mem::HmConfig;
+use sentinel_models::{ModelSpec, ModelZoo};
+use serde::Serialize;
+
+/// Global experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Fast mode shrinks models (scale divisor) and step counts so the whole
+    /// suite completes in well under a minute; full mode uses paper-like
+    /// model sizes.
+    pub fast: bool,
+}
+
+impl ExpConfig {
+    /// Scale divisor applied to model widths.
+    #[must_use]
+    pub fn scale(&self) -> u32 {
+        if self.fast {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// Training steps per measured run (profiling included).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        if self.fast {
+            6
+        } else {
+            8
+        }
+    }
+
+    /// Baseline steps (no profiling phase needed).
+    #[must_use]
+    pub fn baseline_steps(&self) -> usize {
+        if self.fast {
+            3
+        } else {
+            4
+        }
+    }
+
+    /// The small-batch CPU evaluation set (Figure 7 / Tables III–IV).
+    #[must_use]
+    pub fn small_batch_models(&self) -> Vec<ModelSpec> {
+        let s = self.scale();
+        vec![
+            ModelSpec::resnet(32, 64).with_scale(s),
+            ModelSpec::bert_base(8).with_scale(s),
+            ModelSpec::lstm(32).with_scale(s),
+            ModelSpec::mobilenet(16).with_scale(s),
+            ModelSpec::dcgan(64).with_scale(s),
+        ]
+    }
+
+    /// The large-batch CPU evaluation set (Figure 8).
+    #[must_use]
+    pub fn large_batch_models(&self) -> Vec<ModelSpec> {
+        let s = self.scale() * 2; // keep the full suite tractable
+        vec![
+            ModelSpec::resnet(200, 16).with_scale(s),
+            ModelSpec::bert_large(8).with_scale(s),
+            ModelSpec::lstm(128).with_scale(s),
+            ModelSpec::mobilenet(64).with_scale(s),
+            ModelSpec::dcgan(128).with_scale(s),
+        ]
+    }
+
+    /// The GPU evaluation set (Figure 12 / Table V) with three batch sizes
+    /// each, smallest to largest.
+    #[must_use]
+    pub fn gpu_models(&self) -> Vec<(String, [ModelSpec; 3])> {
+        let s = self.scale() * 2;
+        vec![
+            ("resnet50".into(), [
+                ModelSpec::resnet(50, 8).with_scale(s),
+                ModelSpec::resnet(50, 16).with_scale(s),
+                ModelSpec::resnet(50, 32).with_scale(s),
+            ]),
+            ("bert-base".into(), [
+                ModelSpec::bert_base(4).with_scale(s),
+                ModelSpec::bert_base(8).with_scale(s),
+                ModelSpec::bert_base(16).with_scale(s),
+            ]),
+            ("lstm".into(), [
+                ModelSpec::lstm(32).with_scale(s),
+                ModelSpec::lstm(64).with_scale(s),
+                ModelSpec::lstm(128).with_scale(s),
+            ]),
+            ("mobilenet".into(), [
+                ModelSpec::mobilenet(16).with_scale(s),
+                ModelSpec::mobilenet(32).with_scale(s),
+                ModelSpec::mobilenet(64).with_scale(s),
+            ]),
+            ("dcgan".into(), [
+                ModelSpec::dcgan(32).with_scale(s),
+                ModelSpec::dcgan(64).with_scale(s),
+                ModelSpec::dcgan(128).with_scale(s),
+            ]),
+        ]
+    }
+}
+
+/// One rendered experiment: a markdown section plus machine-readable data.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpResult {
+    /// Identifier, e.g. `"fig7"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Markdown body (table or series dump).
+    pub markdown: String,
+    /// Machine-readable payload.
+    pub data: serde_json::Value,
+}
+
+impl ExpResult {
+    /// Assemble a result, serializing `data`.
+    pub fn new<T: Serialize>(id: &str, title: &str, markdown: String, data: &T) -> Self {
+        ExpResult {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            markdown,
+            data: serde_json::to_value(data).unwrap_or(serde_json::Value::Null),
+        }
+    }
+}
+
+/// Run Sentinel (CPU flavour) at the given fast fraction.
+pub fn run_sentinel(
+    spec: &ModelSpec,
+    fraction: f64,
+    steps: usize,
+) -> Result<SentinelOutcome, ExecError> {
+    let graph = ModelZoo::build(spec).expect("model builds");
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, fraction);
+    SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, steps)
+}
+
+/// Run Sentinel with an explicit configuration and platform.
+pub fn run_sentinel_with(
+    spec: &ModelSpec,
+    cfg: SentinelConfig,
+    hm: HmConfig,
+    fraction: f64,
+    steps: usize,
+) -> Result<SentinelOutcome, ExecError> {
+    let graph = ModelZoo::build(spec).expect("model builds");
+    let hm = fast_sized_for(hm, &graph, fraction);
+    SentinelRuntime::new(cfg, hm).train(&graph, steps)
+}
+
+/// Run a baseline at the given fast fraction on the Optane platform.
+/// `Ok(None)` when the baseline does not apply to the model.
+pub fn run_cpu_baseline(
+    baseline: Baseline,
+    spec: &ModelSpec,
+    fraction: f64,
+    steps: usize,
+) -> Result<Option<TrainReport>, ExecError> {
+    let graph = ModelZoo::build(spec).expect("model builds");
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, fraction);
+    run_baseline(baseline, &graph, &hm, steps)
+}
+
+/// Run a baseline on the GPU platform.
+pub fn run_gpu_baseline(
+    baseline: Baseline,
+    spec: &ModelSpec,
+    fraction: f64,
+    steps: usize,
+) -> Result<Option<TrainReport>, ExecError> {
+    let graph = ModelZoo::build(spec).expect("model builds");
+    let hm = fast_sized_for(HmConfig::gpu_like(), &graph, fraction);
+    run_baseline(baseline, &graph, &hm, steps)
+}
+
+/// Format a floating-point speedup.
+#[must_use]
+pub fn fx(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format bytes as MiB.
+#[must_use]
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+}

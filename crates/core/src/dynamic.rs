@@ -1,0 +1,249 @@
+//! Dynamic graphs and control dependencies (Section IV-E).
+//!
+//! Frameworks with dynamic shapes generate a different dataflow graph per
+//! input size. Sentinel handles this with *bucketed profiling*: input sizes
+//! are grouped into at most [`MAX_BUCKETS`] buckets, each bucket is profiled
+//! once on first encounter, and every bucket carries its own reorganization
+//! and migration-interval plan. A static graph with control flow is the same
+//! problem in disguise — whenever a new dataflow signature is observed,
+//! profiling is triggered again ([`DataflowTracker`]).
+
+use crate::config::SentinelConfig;
+use crate::policy::SentinelPolicy;
+use crate::runtime::fast_sized_for;
+use sentinel_dnn::{ExecError, Executor, Graph, StepReport};
+use sentinel_mem::{HmConfig, MemorySystem};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper bucketizes input sizes "into a small number of buckets (at most
+/// 10)".
+pub const MAX_BUCKETS: usize = 10;
+
+/// Maps observed dataflow signatures (hash of the executed op sequence, an
+/// input-length class, a control-flow path id, …) to bucket indices,
+/// creating buckets on first sight up to [`MAX_BUCKETS`].
+#[derive(Debug, Default)]
+pub struct DataflowTracker {
+    buckets: HashMap<u64, usize>,
+}
+
+impl DataflowTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe a dataflow signature. Returns `(bucket index, is_new)`;
+    /// a new signature beyond [`MAX_BUCKETS`] is folded into an existing
+    /// bucket round-robin (the paper's buckets are coarse by construction).
+    pub fn observe(&mut self, signature: u64) -> (usize, bool) {
+        if let Some(&b) = self.buckets.get(&signature) {
+            return (b, false);
+        }
+        let idx = if self.buckets.len() < MAX_BUCKETS {
+            self.buckets.len()
+        } else {
+            (signature % MAX_BUCKETS as u64) as usize
+        };
+        let is_new = self.buckets.len() < MAX_BUCKETS;
+        self.buckets.insert(signature, idx);
+        (idx, is_new)
+    }
+
+    /// Number of distinct buckets allocated.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.values().collect::<std::collections::HashSet<_>>().len()
+    }
+}
+
+/// Outcome of a dynamic-graph training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicOutcome {
+    /// Steps executed per bucket, in bucket order.
+    pub steps_per_bucket: Vec<usize>,
+    /// Profiling steps spent (one per visited bucket).
+    pub profiling_steps: usize,
+    /// Chosen migration interval length per visited bucket.
+    pub mil_per_bucket: Vec<Option<usize>>,
+    /// Per-step reports in schedule order, tagged with the bucket.
+    pub steps: Vec<(usize, StepReport)>,
+}
+
+impl DynamicOutcome {
+    /// Mean steady-state step duration of one bucket (skipping its
+    /// profiling step).
+    #[must_use]
+    pub fn steady_step_ns(&self, bucket: usize) -> Option<u64> {
+        let durations: Vec<u64> = self
+            .steps
+            .iter()
+            .filter(|(b, _)| *b == bucket)
+            .skip(1) // profiling step
+            .map(|(_, s)| s.duration_ns)
+            .collect();
+        if durations.is_empty() {
+            None
+        } else {
+            Some(durations.iter().sum::<u64>() / durations.len() as u64)
+        }
+    }
+}
+
+/// Sentinel over a dynamic workload: one graph per input-size bucket.
+///
+/// Each bucket runs on its own simulated memory system sized to the same
+/// fast fraction — this models the per-bucket steady state the paper
+/// describes (each bucket has its own profile and migration plan); memory
+/// interference *between* buckets in one address space is not modelled.
+#[derive(Debug)]
+pub struct DynamicRuntime {
+    cfg: SentinelConfig,
+    hm: HmConfig,
+    fraction: f64,
+    buckets: Vec<Graph>,
+}
+
+impl DynamicRuntime {
+    /// Build a dynamic runtime over one graph per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty or holds more than [`MAX_BUCKETS`].
+    #[must_use]
+    pub fn new(cfg: SentinelConfig, hm: HmConfig, fraction: f64, buckets: Vec<Graph>) -> Self {
+        assert!(
+            !buckets.is_empty() && buckets.len() <= MAX_BUCKETS,
+            "1..={MAX_BUCKETS} buckets required"
+        );
+        DynamicRuntime { cfg, hm, fraction, buckets }
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Train following `schedule` (a sequence of bucket indices, one step
+    /// each). The first visit to a bucket runs its profiling step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`]; out-of-range bucket indices are skipped.
+    pub fn train_schedule(&self, schedule: &[usize]) -> Result<DynamicOutcome, ExecError> {
+        let mut execs: Vec<Option<(Executor<'_>, SentinelPolicy)>> =
+            (0..self.buckets.len()).map(|_| None).collect();
+        let mut outcome = DynamicOutcome {
+            steps_per_bucket: vec![0; self.buckets.len()],
+            profiling_steps: 0,
+            mil_per_bucket: vec![None; self.buckets.len()],
+            steps: Vec::new(),
+        };
+        for &b in schedule {
+            let Some(slot) = execs.get_mut(b) else { continue };
+            if slot.is_none() {
+                // First encounter: bucketed profiling is triggered.
+                let hm = fast_sized_for(self.hm.clone(), &self.buckets[b], self.fraction);
+                let mem = MemorySystem::new(hm);
+                let exec = Executor::new(&self.buckets[b], mem);
+                let policy = SentinelPolicy::new(self.cfg.clone());
+                *slot = Some((exec, policy));
+                outcome.profiling_steps += 1;
+            }
+            let (exec, policy) = slot.as_mut().expect("just initialized");
+            let report = exec.run_step(policy)?;
+            outcome.steps_per_bucket[b] += 1;
+            outcome.mil_per_bucket[b] = Some(policy.stats().mil);
+            outcome.steps.push((b, report));
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_models::{ModelSpec, ModelZoo};
+
+    fn buckets() -> Vec<Graph> {
+        // Same model at three input-size buckets (different batch ≈ the
+        // padded-length buckets of an NLP workload).
+        [2, 4, 8]
+            .iter()
+            .map(|&b| ModelZoo::build(&ModelSpec::lstm(b).with_scale(8)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn tracker_assigns_buckets_and_caps_at_ten() {
+        let mut t = DataflowTracker::new();
+        let (b0, new0) = t.observe(111);
+        let (b0_again, new_again) = t.observe(111);
+        assert_eq!(b0, b0_again);
+        assert!(new0 && !new_again);
+        for sig in 0..20u64 {
+            t.observe(sig * 7919);
+        }
+        assert!(t.num_buckets() <= MAX_BUCKETS);
+    }
+
+    #[test]
+    fn each_bucket_profiles_once() {
+        let rt = DynamicRuntime::new(
+            SentinelConfig::default(),
+            HmConfig::optane_like().without_cache(),
+            0.3,
+            buckets(),
+        );
+        let schedule = [0, 1, 0, 2, 1, 0, 2, 1, 0];
+        let out = rt.train_schedule(&schedule).unwrap();
+        assert_eq!(out.profiling_steps, 3);
+        assert_eq!(out.steps_per_bucket, vec![4, 3, 2]);
+        assert_eq!(out.steps.len(), schedule.len());
+        assert!(out.mil_per_bucket.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn unvisited_buckets_are_never_profiled() {
+        let rt = DynamicRuntime::new(
+            SentinelConfig::default(),
+            HmConfig::optane_like().without_cache(),
+            0.3,
+            buckets(),
+        );
+        let out = rt.train_schedule(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(out.profiling_steps, 1);
+        assert_eq!(out.steady_step_ns(1), None);
+        assert!(out.steady_step_ns(0).is_some());
+    }
+
+    #[test]
+    fn steady_state_excludes_the_profiling_step() {
+        let rt = DynamicRuntime::new(
+            SentinelConfig::default(),
+            HmConfig::optane_like().without_cache(),
+            0.3,
+            buckets(),
+        );
+        let out = rt.train_schedule(&[0, 0, 0, 0, 0]).unwrap();
+        let steady = out.steady_step_ns(0).unwrap();
+        let profiling = out.steps[0].1.duration_ns;
+        assert!(steady < profiling, "steady {steady} vs profiling {profiling}");
+    }
+
+    #[test]
+    #[should_panic(expected = "buckets required")]
+    fn too_many_buckets_panics() {
+        let g = ModelZoo::build(&ModelSpec::lstm(2).with_scale(8)).unwrap();
+        let many: Vec<Graph> = (0..11).map(|_| g.clone()).collect();
+        let _ = DynamicRuntime::new(
+            SentinelConfig::default(),
+            HmConfig::optane_like(),
+            0.3,
+            many,
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The migration-interval solver (paper Equations 1 and 2).
+//!
+//! A training step is partitioned into equal-sized intervals of `MIL`
+//! layers. Eq. 1 (space): the long-lived tensor bytes an interval needs
+//! must fit in fast memory net of the short-lived reservation,
+//! `Tensor(MIL) < S − RS`. Eq. 2 (goal): minimize the migration time
+//! exposed on the critical path, `argmin (S − RS)/BW − T(MIL)`. Since the
+//! first term does not depend on `MIL` and `T` grows with `MIL`, the
+//! optimum is the *largest* interval still satisfying Eq. 1 — exactly the
+//! interior optimum of the paper's Figure 5 (too short exposes migration,
+//! too long violates space).
+
+use crate::schedule::Schedule;
+use sentinel_dnn::Graph;
+use sentinel_mem::Ns;
+use sentinel_profiler::ProfileReport;
+use serde::{Deserialize, Serialize};
+
+/// The chosen partition of a training step into migration intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalPlan {
+    /// Migration interval length, in layers.
+    pub mil: usize,
+    /// Total layers in a step.
+    pub num_layers: usize,
+}
+
+impl IntervalPlan {
+    /// Build a plan with a given interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mil` or `num_layers` is zero.
+    #[must_use]
+    pub fn new(mil: usize, num_layers: usize) -> Self {
+        assert!(mil > 0 && num_layers > 0, "mil and num_layers must be positive");
+        IntervalPlan { mil: mil.min(num_layers), num_layers }
+    }
+
+    /// Number of intervals in a step (last one may be short).
+    #[must_use]
+    pub fn num_intervals(&self) -> usize {
+        self.num_layers.div_ceil(self.mil)
+    }
+
+    /// Interval containing `layer`.
+    #[must_use]
+    pub fn interval_of(&self, layer: usize) -> usize {
+        layer / self.mil
+    }
+
+    /// First layer of interval `k`.
+    #[must_use]
+    pub fn start_layer(&self, k: usize) -> usize {
+        (k * self.mil).min(self.num_layers)
+    }
+
+    /// One-past-the-last layer of interval `k`.
+    #[must_use]
+    pub fn end_layer(&self, k: usize) -> usize {
+        ((k + 1) * self.mil).min(self.num_layers)
+    }
+
+    /// Whether `layer` is the first layer of its interval.
+    #[must_use]
+    pub fn is_interval_start(&self, layer: usize) -> bool {
+        layer % self.mil == 0
+    }
+}
+
+/// Per-candidate diagnostics from the solver (useful for Figure 5 analyses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MilCandidate {
+    /// Candidate interval length.
+    pub mil: usize,
+    /// Worst-case long-lived bytes any interval must hold (`Tensor(MIL)`).
+    pub tensor_bytes: u64,
+    /// Whether Eq. 1 holds: `tensor_bytes < S − RS`.
+    pub feasible: bool,
+    /// Estimated training time per interval (`T(MIL)`), ns.
+    pub interval_time_ns: Ns,
+    /// Eq. 2 objective: `(S − RS)/BW − T(MIL)` (may be negative).
+    pub objective_ns: i128,
+}
+
+/// Solver output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MilSolution {
+    /// Chosen interval length.
+    pub mil: usize,
+    /// All evaluated candidates, in increasing `mil` order.
+    pub candidates: Vec<MilCandidate>,
+}
+
+/// Solve for the optimum migration interval length.
+///
+/// * `fast_bytes` — usable fast-memory size `S`.
+/// * `reserve_bytes` — the short-lived reservation `RS` (0 when disabled).
+/// * `promote_bw` — slow→fast migration bandwidth in bytes/ns.
+#[must_use]
+pub fn solve_mil(
+    graph: &Graph,
+    schedule: &Schedule,
+    profile: &ProfileReport,
+    fast_bytes: u64,
+    reserve_bytes: u64,
+    promote_bw: f64,
+) -> MilSolution {
+    let num_layers = graph.num_layers().max(1);
+    let budget = fast_bytes.saturating_sub(reserve_bytes);
+    let migration_time = (budget as f64 / promote_bw.max(1e-9)) as i128;
+
+    let mut candidates = Vec::with_capacity(num_layers);
+    for mil in 1..=num_layers {
+        let plan = IntervalPlan::new(mil, num_layers);
+        // `Tensor(MIL)`: the fast-memory demand an interval puts on the
+        // space constraint — its own long-lived working set (everything it
+        // references must be fast-resident for full speed) plus the bytes
+        // being prefetched for the *next* interval during its execution
+        // (tensors that exist before the next interval starts and were not
+        // already resident from this one).
+        let n_int = plan.num_intervals();
+        let working_set = |k: usize| -> u64 {
+            schedule
+                .long_tensors_in(plan.start_layer(k), plan.end_layer(k))
+                .iter()
+                .map(|&t| graph.tensor(t).bytes)
+                .sum()
+        };
+        let incoming = |k: usize| -> u64 {
+            let k = k % n_int;
+            let start = plan.start_layer(k);
+            let prev = (k + n_int - 1) % n_int;
+            if prev == k {
+                return 0;
+            }
+            let prev_set = schedule.long_tensors_in(plan.start_layer(prev), plan.end_layer(prev));
+            schedule
+                .long_tensors_in(start, plan.end_layer(k))
+                .iter()
+                .filter(|&&t| {
+                    let tensor = graph.tensor(t);
+                    tensor.preallocated()
+                        || tensor.first_ref.map(|r| r.layer < start).unwrap_or(false)
+                })
+                .filter(|&&t| prev_set.binary_search(&t).is_err())
+                .map(|&t| graph.tensor(t).bytes)
+                .sum()
+        };
+        let tensor_bytes =
+            (0..n_int).map(|k| working_set(k) + incoming(k + 1)).max().unwrap_or(0);
+        let interval_time_ns: Ns = if profile.layer_times_ns.is_empty() {
+            0
+        } else {
+            // Worst case for exposure is the *shortest* interval.
+            (0..plan.num_intervals())
+                .map(|k| profile.time_for_layers(plan.start_layer(k), plan.end_layer(k)))
+                .min()
+                .unwrap_or(0)
+        };
+        candidates.push(MilCandidate {
+            mil,
+            tensor_bytes,
+            feasible: tensor_bytes < budget,
+            interval_time_ns,
+            objective_ns: migration_time - i128::from(interval_time_ns),
+        });
+    }
+
+    // Largest feasible MIL minimizes the Eq. 2 objective; fall back to 1.
+    let mil = candidates.iter().filter(|c| c.feasible).map(|c| c.mil).max().unwrap_or(1);
+    MilSolution { mil, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_mem::HmConfig;
+    use sentinel_models::{ModelSpec, ModelZoo};
+    use sentinel_profiler::Profiler;
+
+    #[test]
+    fn plan_geometry() {
+        let p = IntervalPlan::new(4, 10);
+        assert_eq!(p.num_intervals(), 3);
+        assert_eq!(p.start_layer(0), 0);
+        assert_eq!(p.end_layer(0), 4);
+        assert_eq!(p.end_layer(2), 10);
+        assert_eq!(p.interval_of(7), 1);
+        assert!(p.is_interval_start(8));
+        assert!(!p.is_interval_start(9));
+    }
+
+    #[test]
+    fn plan_clamps_mil_to_layer_count() {
+        let p = IntervalPlan::new(100, 10);
+        assert_eq!(p.mil, 10);
+        assert_eq!(p.num_intervals(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_mil_panics() {
+        let _ = IntervalPlan::new(0, 10);
+    }
+
+    fn setup() -> (Graph, Schedule, ProfileReport) {
+        let g = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+        let s = Schedule::new(&g);
+        let p = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
+        (g, s, p)
+    }
+
+    #[test]
+    fn smaller_fast_memory_gives_smaller_mil() {
+        let (g, s, p) = setup();
+        let peak = g.peak_live_bytes();
+        let small = solve_mil(&g, &s, &p, peak / 10, 0, 5.0);
+        let large = solve_mil(&g, &s, &p, peak, 0, 5.0);
+        assert!(small.mil <= large.mil, "small {} vs large {}", small.mil, large.mil);
+        assert!(small.mil >= 1);
+    }
+
+    #[test]
+    fn tensor_bytes_grow_with_mil() {
+        let (g, s, p) = setup();
+        let sol = solve_mil(&g, &s, &p, g.peak_live_bytes(), 0, 5.0);
+        let first = sol.candidates.first().unwrap().tensor_bytes;
+        let last = sol.candidates.last().unwrap().tensor_bytes;
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn infeasible_everywhere_falls_back_to_one() {
+        let (g, s, p) = setup();
+        let sol = solve_mil(&g, &s, &p, 0, 0, 5.0);
+        assert_eq!(sol.mil, 1);
+        assert!(sol.candidates.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn reservation_tightens_the_constraint() {
+        let (g, s, p) = setup();
+        let fast = g.peak_live_bytes() / 5;
+        let without = solve_mil(&g, &s, &p, fast, 0, 5.0);
+        let with = solve_mil(&g, &s, &p, fast, fast / 2, 5.0);
+        assert!(with.mil <= without.mil);
+    }
+}

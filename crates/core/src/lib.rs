@@ -1,0 +1,38 @@
+//! # sentinel-core — the Sentinel runtime
+//!
+//! The paper's primary contribution, implemented as a
+//! [`sentinel_dnn::MemoryManager`] policy plus supporting machinery:
+//!
+//! * [`SentinelPolicy`] — the full runtime: a profiling phase (page-aligned
+//!   allocation + poison-fault counting, Section III), data reorganization
+//!   into lifetime/hotness pools ([`ReorgPlan`], Section IV-B), a reserved
+//!   fast-memory region for short-lived tensors (Section IV-C), and
+//!   adaptive layer-based migration with prefetch/evict per interval and
+//!   Case 1/2/3 handling including the test-and-trial algorithm
+//!   (Section IV-D).
+//! * [`solve_mil`] / [`IntervalPlan`] — the migration-interval solver
+//!   implementing Equations 1 and 2.
+//! * [`Schedule`] — the static per-layer access index the migration engine
+//!   plans against.
+//! * [`SentinelConfig`] — feature switches, including the Figure 13
+//!   ablations ([`Ablation`]) and the GPU variant (Section V).
+//! * [`SentinelRuntime`] — one-call orchestration: profile, reorganize,
+//!   train, report.
+//!
+//! See [`SentinelRuntime`] for a runnable example.
+
+mod config;
+mod dynamic;
+mod interval;
+mod policy;
+mod reorg;
+mod runtime;
+mod schedule;
+
+pub use config::{Ablation, Case3Policy, SentinelConfig};
+pub use dynamic::{DataflowTracker, DynamicOutcome, DynamicRuntime, MAX_BUCKETS};
+pub use interval::{solve_mil, IntervalPlan, MilCandidate, MilSolution};
+pub use policy::{SentinelPolicy, SentinelStats};
+pub use reorg::{HotClass, ReorgPlan};
+pub use runtime::{fast_sized_for, SentinelOutcome, SentinelRuntime};
+pub use schedule::Schedule;

@@ -1,0 +1,700 @@
+//! The Sentinel memory-management policy.
+//!
+//! One [`SentinelPolicy`] drives a whole training run through three phases:
+//! optional unprofiled warmup steps, one profiling step (page-aligned
+//! allocation in slow memory + poison-fault counting), and managed steps in
+//! which tensors are co-allocated by lifetime/hotness group, short-lived
+//! tensors live in a reserved fast-memory region, and long-lived tensors are
+//! migrated per the adaptive layer-based interval plan of Section IV-D.
+
+use crate::config::{Case3Policy, SentinelConfig};
+use crate::interval::{solve_mil, IntervalPlan, MilSolution};
+use crate::reorg::ReorgPlan;
+use crate::schedule::Schedule;
+use sentinel_dnn::{ExecCtx, MemoryManager, PoolSpec, Tensor, TensorId};
+use sentinel_mem::{pages_for_bytes, Ns, PageRange, Tier};
+use sentinel_profiler::{ProfileReport, TensorProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters describing one Sentinel run (Table III / IV material).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SentinelStats {
+    /// Migration interval length chosen by the solver (or override).
+    pub mil: usize,
+    /// Case-2 occurrences: prefetch blocked by lack of fast-memory space.
+    pub case2_events: u64,
+    /// Case-3 occurrences: an interval started before its prefetch finished.
+    pub case3_events: u64,
+    /// Training steps that carried a test-and-trial measurement.
+    pub trial_steps: u64,
+    /// Steps used for profiling (always 1) plus warmup.
+    pub profiling_steps: u64,
+    /// Fast-memory pages reserved for short-lived tensors.
+    pub reserve_pages: u64,
+    /// Stall time attributed to Case-3 waits at interval boundaries.
+    pub stall_case3_ns: u64,
+    /// Stall time attributed to demand faults (GPU platform).
+    pub stall_fault_ns: u64,
+    /// Stall time attributed to capacity-pressure evictions.
+    pub stall_pressure_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Before/during warmup and the profiling step.
+    Profiling,
+    /// After reorganization: full Sentinel management.
+    Managed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Wait,
+    Leave,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Case3State {
+    wait_cost: Option<Ns>,
+    leave_cost: Option<Ns>,
+    decided: Option<Choice>,
+}
+
+impl Case3State {
+    fn next_choice(&self) -> (Choice, bool) {
+        if let Some(c) = self.decided {
+            return (c, false);
+        }
+        if self.wait_cost.is_none() {
+            (Choice::Wait, true)
+        } else {
+            (Choice::Leave, true)
+        }
+    }
+
+    fn record(&mut self, choice: Choice, cost: Ns) {
+        match choice {
+            Choice::Wait => self.wait_cost = Some(cost),
+            Choice::Leave => self.leave_cost = Some(cost),
+        }
+        if let (Some(w), Some(l)) = (self.wait_cost, self.leave_cost) {
+            self.decided = Some(if w <= l { Choice::Wait } else { Choice::Leave });
+        }
+    }
+}
+
+/// The Sentinel runtime as a [`MemoryManager`] policy.
+#[derive(Debug)]
+pub struct SentinelPolicy {
+    cfg: SentinelConfig,
+    phase: Phase,
+    // Profiling-phase state.
+    prof_pages: Vec<Option<PageRange>>,
+    prof_layer_start: (Ns, Ns),
+    prof_layer_times: Vec<Ns>,
+    prof_recording: bool,
+    // Managed-phase state (built at the end of the profiling step).
+    schedule: Option<Schedule>,
+    profile: Option<ProfileReport>,
+    reorg: Option<ReorgPlan>,
+    plan: Option<IntervalPlan>,
+    mil_solution: Option<MilSolution>,
+    reserve_pages: u64,
+    live_short_bytes: u64,
+    // Case bookkeeping.
+    case3_states: HashMap<usize, Case3State>,
+    /// Active interval measurement: (interval, start time, trial choice).
+    interval_mark: Option<(usize, Ns, Option<Choice>)>,
+    trial_step_flag: bool,
+    current_layer_hint: usize,
+    stats: SentinelStats,
+}
+
+impl SentinelPolicy {
+    /// Build a policy from a configuration.
+    #[must_use]
+    pub fn new(cfg: SentinelConfig) -> Self {
+        SentinelPolicy {
+            cfg,
+            phase: Phase::Profiling,
+            prof_pages: Vec::new(),
+            prof_layer_start: (0, 0),
+            prof_layer_times: Vec::new(),
+            prof_recording: false,
+            schedule: None,
+            profile: None,
+            reorg: None,
+            plan: None,
+            mil_solution: None,
+            reserve_pages: 0,
+            live_short_bytes: 0,
+            case3_states: HashMap::new(),
+            interval_mark: None,
+            trial_step_flag: false,
+            current_layer_hint: 0,
+            stats: SentinelStats::default(),
+        }
+    }
+
+    /// Run counters (valid after the profiling step).
+    #[must_use]
+    pub fn stats(&self) -> SentinelStats {
+        self.stats
+    }
+
+    /// The profile collected by the profiling step, if finished.
+    #[must_use]
+    pub fn profile(&self) -> Option<&ProfileReport> {
+        self.profile.as_ref()
+    }
+
+    /// The interval-solver diagnostics, if solved.
+    #[must_use]
+    pub fn mil_solution(&self) -> Option<&MilSolution> {
+        self.mil_solution.as_ref()
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn profiling_step_index(&self) -> usize {
+        self.cfg.profile_warmup
+    }
+
+    fn free_for_long_pages(&self, ctx: &ExecCtx<'_>) -> u64 {
+        let live_short_pages = pages_for_bytes(self.live_short_bytes, ctx.mem().page_size());
+        let reserve_unused = self.reserve_pages.saturating_sub(live_short_pages);
+        ctx.mem().free_pages(Tier::Fast).saturating_sub(reserve_unused)
+    }
+
+    fn tensor_pages(&self, t: &Tensor, page_size: u64) -> u64 {
+        pages_for_bytes(t.bytes, page_size)
+    }
+
+    /// Prefetch the long-lived tensors interval `k` (cyclic) will use,
+    /// hottest first, within the fast-memory budget.
+    fn prefetch_for_interval(&mut self, k: usize, ctx: &mut ExecCtx<'_>) {
+        let (Some(plan), Some(schedule), Some(profile)) =
+            (self.plan.as_ref(), self.schedule.as_ref(), self.profile.as_ref())
+        else {
+            return;
+        };
+        let k = k % plan.num_intervals();
+        let (s, e) = (plan.start_layer(k), plan.end_layer(k));
+        let mut tensors: Vec<TensorId> = schedule
+            .long_tensors_in(s, e)
+            .into_iter()
+            .filter(|&t| ctx.is_live(t) && ctx.tensor_bytes_in(t, Tier::Slow) > 0)
+            .collect();
+        if self.cfg.hot_first {
+            tensors.sort_by_key(|&t| std::cmp::Reverse(profile.tensor(t).mm_accesses));
+        }
+        let page_size = ctx.mem().page_size();
+        let mut budget = self.free_for_long_pages(ctx);
+        // Time budget: never queue more copy work than roughly two intervals
+        // of execution can hide — otherwise the channel builds a standing
+        // backlog and every prefetch lands after its interval has passed.
+        // Estimated from interval compute (profiled layer times are inflated
+        // by slow-memory residence during the profiling step).
+        let interval_flops: u64 =
+            ctx.graph().layers()[s..e].iter().flat_map(|l| &l.ops).map(|o| o.flops).sum();
+        let interval_ns =
+            (interval_flops as f64 / ctx.mem().config().compute_flops_per_ns) as Ns;
+        let backlog_ns = ctx.mem().channel_free_at(Tier::Fast).saturating_sub(ctx.now());
+        // Floor of 10 ms keeps the channel fed in bandwidth-bound regimes
+        // (where interval compute alone could never hide the transfers).
+        let time_budget_ns = (2 * interval_ns).max(10_000_000).saturating_sub(backlog_ns);
+        let bw = ctx.mem().config().promote_bw_bytes_per_ns;
+        let mut byte_budget = (time_budget_ns as f64 * bw) as u64;
+        let mut blocked = false;
+        for t in tensors {
+            let bytes = ctx.tensor_bytes_in(t, Tier::Slow);
+            let pages = pages_for_bytes(bytes, page_size);
+            if pages > budget || bytes > byte_budget {
+                blocked = true;
+                continue; // hottest-first: try to fit smaller, colder tensors
+            }
+            if ctx.migrate_tensor(t, Tier::Fast).is_ok() {
+                budget = budget.saturating_sub(pages);
+                byte_budget = byte_budget.saturating_sub(bytes);
+            }
+        }
+        if blocked {
+            self.stats.case2_events += 1;
+        }
+    }
+
+    /// Resolve Case 3 at the start of interval `k`: promotes still in
+    /// flight from the previous interval's prefetch.
+    fn handle_case3(&mut self, k: usize, ctx: &mut ExecCtx<'_>) {
+        let ready = ctx.mem().channel_free_at(Tier::Fast);
+        if ready <= ctx.now() {
+            return; // Case 1: everything landed in time.
+        }
+        self.stats.case3_events += 1;
+        let choice = match self.cfg.case3 {
+            Case3Policy::DemandWait => return, // per-tensor waits in before_access
+            Case3Policy::AlwaysWait => (Choice::Wait, false),
+            Case3Policy::AlwaysLeave => (Choice::Leave, false),
+            Case3Policy::TestAndTrial => {
+                let state = self.case3_states.entry(k).or_default();
+                state.next_choice()
+            }
+        };
+        let (choice, is_trial) = choice;
+        if is_trial {
+            self.trial_step_flag = true;
+        }
+        match choice {
+            Choice::Wait => {
+                let before = ctx.now();
+                ctx.stall_until(ready);
+                self.stats.stall_case3_ns += ctx.now() - before;
+            }
+            Choice::Leave => {
+                let now = ctx.now();
+                ctx.mem_mut().cancel_pending_migrations(now);
+            }
+        }
+        if let Some(mark) = self.interval_mark.as_mut() {
+            // The upcoming interval runs under `choice`; remember for record.
+            mark.2 = if is_trial { Some(choice) } else { None };
+        }
+    }
+
+    /// Close the measurement of the interval that just ended.
+    fn close_interval_measurement(&mut self, now: Ns) {
+        if let Some((k, start, Some(choice))) = self.interval_mark.take() {
+            let cost = now - start;
+            self.case3_states.entry(k).or_default().record(choice, cost);
+        } else {
+            self.interval_mark = None;
+        }
+    }
+
+    /// Evict fast-resident long-lived tensors whose next use lies beyond the
+    /// lookahead window ending at absolute layer `boundary`.
+    fn evict_after_layer(&mut self, layer: usize, boundary: usize, ctx: &mut ExecCtx<'_>) {
+        // Keep the demote channel from building a standing backlog: pages
+        // only free at copy completion, so queueing more evictions than the
+        // channel can absorb starves allocation instead of helping it.
+        let demote_backlog = ctx.mem().channel_free_at(Tier::Slow).saturating_sub(ctx.now());
+        let layer_flops: u64 =
+            ctx.graph().layers()[layer].ops.iter().map(|o| o.flops).sum();
+        let layer_ns = (layer_flops as f64 / ctx.mem().config().compute_flops_per_ns) as Ns;
+        if demote_backlog > 4 * layer_ns.max(1_000_000) {
+            return;
+        }
+        let Some(schedule) = self.schedule.as_ref() else { return };
+        let candidates: Vec<TensorId> = schedule
+            .long_tensors_in_layer(layer)
+            .iter()
+            .copied()
+            .filter(|&t| ctx.is_live(t))
+            .collect();
+        for t in candidates {
+            let next = self.schedule.as_ref().and_then(|s| s.next_use_cyclic(t, layer + 1));
+            let evict = match next {
+                None => true,
+                Some(n) => n > boundary,
+            };
+            if evict && ctx.tensor_bytes_in(t, Tier::Fast) > 0 {
+                let _ = ctx.migrate_tensor(t, Tier::Slow);
+            }
+        }
+    }
+
+    /// Demote fast-resident long-lived tensors (farthest next use first)
+    /// until `pages` pages can be freed, then wait for the copies.
+    fn evict_for_pages(&mut self, exclude: TensorId, pages: u64, current_layer: usize, ctx: &mut ExecCtx<'_>) {
+        let Some(schedule) = self.schedule.as_ref() else { return };
+        let mut victims: Vec<(std::cmp::Reverse<usize>, TensorId, u64)> = ctx
+            .graph()
+            .tensors()
+            .iter()
+            .filter(|t| !t.is_short_lived() && t.id != exclude && ctx.is_live(t.id))
+            .filter_map(|t| {
+                let fast = ctx.tensor_bytes_in(t.id, Tier::Fast);
+                (fast > 0).then(|| {
+                    let next = schedule.next_use_cyclic(t.id, current_layer).unwrap_or(usize::MAX);
+                    (std::cmp::Reverse(next), t.id, fast)
+                })
+            })
+            .collect();
+        victims.sort();
+        let page_size = ctx.mem().page_size();
+        let mut freed = 0u64;
+        let mut latest: Option<Ns> = None;
+        for (_, v, fast_bytes) in victims {
+            if freed >= pages {
+                break;
+            }
+            if let Ok(Some(ready)) = ctx.migrate_tensor_urgent(v, Tier::Slow) {
+                freed += pages_for_bytes(fast_bytes, page_size);
+                latest = Some(latest.map_or(ready, |l: Ns| l.max(ready)));
+            }
+        }
+        if let Some(ready) = latest {
+            ctx.stall_until(ready);
+        }
+    }
+
+    /// Build the managed-phase plans from the just-finished profiling step.
+    fn finish_profiling(&mut self, ctx: &mut ExecCtx<'_>) {
+        let profiling_step_ns = ctx.now();
+        let graph = ctx.graph();
+        let map = ctx.mem_mut().stop_profiling();
+        let tensors: Vec<TensorProfile> = graph
+            .tensors()
+            .iter()
+            .map(|t| {
+                let pages = self.prof_pages.get(t.id.index()).copied().flatten();
+                let page_faults = pages.map_or(0, |r| map.count_range(r));
+                let page_count = pages.map_or(0, |r| r.count);
+                TensorProfile {
+                    id: t.id,
+                    bytes: t.bytes,
+                    kind: t.kind,
+                    short_lived: t.is_short_lived(),
+                    layer_span: t.layer_span(),
+                    mm_accesses: page_faults.div_ceil(page_count.max(1)),
+                    page_faults,
+                    pages: page_count,
+                }
+            })
+            .collect();
+        let profile = ProfileReport {
+            model: graph.name().to_owned(),
+            page_size: ctx.mem().page_size(),
+            tensors,
+            layer_times_ns: std::mem::take(&mut self.prof_layer_times),
+            profiling_step_ns,
+            faults: map.total(),
+            peak_short_lived_bytes: graph.peak_short_lived_bytes(),
+            peak_live_bytes: graph.peak_live_bytes(),
+        };
+
+        let schedule = Schedule::new(graph);
+        let page_size = ctx.mem().page_size();
+        let fast_bytes = ctx.mem().config().fast.capacity_bytes;
+        self.reserve_pages = if self.cfg.reserve_short_lived {
+            // The reservation is reused as short-lived tensors come and go
+            // (Section IV-C), so it only needs the peak *concurrent*
+            // short-lived footprint, plus page-rounding headroom; clamped to
+            // half of fast memory as a safety valve for tiny configurations.
+            let raw = pages_for_bytes(graph.peak_short_lived_concurrent_bytes(), page_size);
+            (raw + raw / 4 + 16).min(pages_for_bytes(fast_bytes, page_size) / 2)
+        } else {
+            0
+        };
+        let reserve_bytes = self.reserve_pages * page_size;
+
+        let solution = solve_mil(
+            graph,
+            &schedule,
+            &profile,
+            fast_bytes,
+            reserve_bytes,
+            ctx.mem().config().promote_bw_bytes_per_ns,
+        );
+        let mil = self.cfg.mil_override.unwrap_or(solution.mil).min(graph.num_layers().max(1));
+        self.plan = Some(IntervalPlan::new(mil.max(1), graph.num_layers().max(1)));
+        self.stats.mil = mil.max(1);
+        self.stats.reserve_pages = self.reserve_pages;
+        self.stats.profiling_steps = self.cfg.profile_warmup as u64 + 1;
+        self.mil_solution = Some(solution);
+        self.reorg = Some(ReorgPlan::new(&profile));
+        self.profile = Some(profile);
+        self.schedule = Some(schedule);
+        self.phase = Phase::Managed;
+
+        // GPU mode: synchronize the pinned-memory profiling copies with the
+        // device copies — a one-time cost of copying preallocated tensors.
+        if self.cfg.gpu {
+            let bytes = graph.preallocated_bytes();
+            let bw = ctx.mem().config().promote_bw_bytes_per_ns;
+            let sync_ns = (bytes as f64 / bw.max(1e-9)).ceil() as Ns;
+            let target = ctx.now() + sync_ns;
+            ctx.stall_until(target);
+        }
+
+        // Warm fast memory for the first managed interval.
+        self.prefetch_for_interval(0, ctx);
+    }
+}
+
+impl MemoryManager for SentinelPolicy {
+    fn name(&self) -> &str {
+        if self.cfg.gpu {
+            "sentinel-gpu"
+        } else {
+            "sentinel"
+        }
+    }
+
+    fn on_train_begin(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.prof_pages = vec![None; ctx.graph().num_tensors()];
+    }
+
+    fn on_step_begin(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.trial_step_flag = false;
+        if self.phase == Phase::Profiling && ctx.step() == self.profiling_step_index() {
+            self.prof_recording = true;
+            ctx.mem_mut().start_profiling();
+        }
+    }
+
+    fn pool_for(&mut self, tensor: &Tensor, _ctx: &ExecCtx<'_>) -> PoolSpec {
+        match self.phase {
+            // Page-aligned pool per tensor: page counts == tensor counts.
+            Phase::Profiling => PoolSpec::page_aligned(u64::from(tensor.id.0) + 1),
+            Phase::Managed => {
+                if self.cfg.coallocate {
+                    self.reorg.as_ref().expect("managed phase has a plan").pool_for(tensor)
+                } else {
+                    PoolSpec::default_packed()
+                }
+            }
+        }
+    }
+
+    fn tier_for(&mut self, tensor: &Tensor, ctx: &ExecCtx<'_>) -> Tier {
+        match self.phase {
+            Phase::Profiling => Tier::Slow,
+            Phase::Managed => {
+                if tensor.is_short_lived() && self.cfg.reserve_short_lived {
+                    return Tier::Fast;
+                }
+                let pages = self.tensor_pages(tensor, ctx.mem().page_size());
+                if pages <= self.free_for_long_pages(ctx) {
+                    Tier::Fast
+                } else {
+                    Tier::Slow
+                }
+            }
+        }
+    }
+
+    fn on_alloc(&mut self, tensor: TensorId, ctx: &mut ExecCtx<'_>) {
+        let t = ctx.tensor(tensor);
+        if self.phase == Phase::Profiling {
+            self.prof_pages[tensor.index()] = ctx.placement(tensor).map(|a| a.pages);
+        } else if t.is_short_lived() {
+            self.live_short_bytes += t.bytes;
+        }
+    }
+
+    fn on_free(&mut self, tensor: TensorId, ctx: &mut ExecCtx<'_>) {
+        if self.phase == Phase::Managed {
+            let t = ctx.tensor(tensor);
+            if t.is_short_lived() {
+                self.live_short_bytes = self.live_short_bytes.saturating_sub(t.bytes);
+            }
+        }
+    }
+
+    fn on_capacity_pressure(&mut self, tier: Tier, needed_pages: u64, ctx: &mut ExecCtx<'_>) -> bool {
+        if tier != Tier::Fast || self.phase != Phase::Managed {
+            return false;
+        }
+        // Demote the long-lived fast-resident tensors with the farthest next
+        // use until enough pages are freed, then wait for the copies.
+        let Some(schedule) = self.schedule.as_ref() else { return false };
+        let graph = ctx.graph();
+        let current_layer = 0; // order by distance from step start is enough here
+        let mut resident: Vec<(usize, TensorId, u64)> = graph
+            .tensors()
+            .iter()
+            .filter(|t| !t.is_short_lived() && ctx.is_live(t.id))
+            .filter_map(|t| {
+                let fast = ctx.tensor_bytes_in(t.id, Tier::Fast);
+                if fast == 0 {
+                    return None;
+                }
+                let next = schedule.next_use_cyclic(t.id, current_layer).unwrap_or(usize::MAX);
+                Some((next, t.id, fast))
+            })
+            .collect();
+        resident.sort_by_key(|&(next, _, _)| std::cmp::Reverse(next));
+        let page_size = ctx.mem().page_size();
+        let mut freed = 0u64;
+        let mut latest: Option<Ns> = None;
+        for (_, t, fast_bytes) in resident {
+            if freed >= needed_pages {
+                break;
+            }
+            if let Ok(Some(ready)) = ctx.migrate_tensor_urgent(t, Tier::Slow) {
+                freed += pages_for_bytes(fast_bytes, page_size);
+                latest = Some(latest.map_or(ready, |l: Ns| l.max(ready)));
+            }
+        }
+        match latest {
+            Some(ready) => {
+                let before = ctx.now();
+                ctx.stall_until(ready); // frames free only once the copy lands
+                self.stats.stall_pressure_ns += ctx.now() - before;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn before_access(&mut self, tensor: TensorId, _kind: sentinel_mem::AccessKind, ctx: &mut ExecCtx<'_>) {
+        // GPU platform: compute cannot read host memory in place, so any
+        // tensor still (partly) in slow memory when touched must be faulted
+        // into device memory first — evicting the farthest-needed residents.
+        if self.phase != Phase::Managed
+            || ctx.mem().config().slow_directly_accessible
+            || !ctx.is_live(tensor)
+            || ctx.tensor_bytes_in(tensor, Tier::Slow) == 0
+        {
+            return;
+        }
+        let fault_start = ctx.now();
+        // If this tensor's own pages are mid-copy, either wait (when the
+        // copy lands sooner than an urgent one could) or preempt the queued
+        // batch and fault the pages in on the urgent lane.
+        if let Some(a) = ctx.placement(tensor) {
+            let pages = a.pages;
+            if let Some(ready) = ctx.mem().range_ready_at(pages) {
+                let bw = ctx.mem().config().promote_bw_bytes_per_ns;
+                let setup = ctx.mem().config().migration_setup_ns;
+                let self_copy_ns =
+                    setup + (pages.bytes(ctx.mem().page_size()) as f64 / bw) as Ns;
+                if ready <= ctx.now() + self_copy_ns {
+                    ctx.stall_until(ready);
+                } else {
+                    let now = ctx.now();
+                    ctx.mem_mut().cancel_overlapping(pages, now);
+                }
+            }
+        }
+        if ctx.tensor_bytes_in(tensor, Tier::Slow) == 0 {
+            self.stats.stall_fault_ns += ctx.now() - fault_start;
+            return;
+        }
+        let page_size = ctx.mem().page_size();
+        let needed = pages_for_bytes(ctx.tensor_bytes_in(tensor, Tier::Slow), page_size);
+        if ctx.mem().free_pages(Tier::Fast) < needed {
+            let missing = needed - ctx.mem().free_pages(Tier::Fast);
+            let current = self.current_layer_hint;
+            self.evict_for_pages(tensor, missing, current, ctx);
+        }
+        if let Ok(Some(ready)) = ctx.migrate_tensor_urgent(tensor, Tier::Fast) {
+            ctx.stall_until(ready);
+        }
+        self.stats.stall_fault_ns += ctx.now() - fault_start;
+    }
+
+    fn before_layer(&mut self, layer: usize, ctx: &mut ExecCtx<'_>) {
+        self.current_layer_hint = layer;
+        if self.phase == Phase::Profiling {
+            if self.prof_recording {
+                self.prof_layer_start = (ctx.now(), ctx.breakdown().profiling_fault_ns);
+            }
+            return;
+        }
+        let Some(plan) = self.plan.as_ref() else { return };
+        if !plan.is_interval_start(layer) {
+            return;
+        }
+        let k = plan.interval_of(layer);
+        let lookahead = self.cfg.lookahead;
+        self.close_interval_measurement(ctx.now());
+        ctx.poll();
+        self.interval_mark = Some((k, ctx.now(), None));
+        self.handle_case3(k, ctx);
+        let target = if lookahead { k + 1 } else { k };
+        self.prefetch_for_interval(target, ctx);
+        if !lookahead {
+            // Direct migration: the fetched tensors are needed *now*, so the
+            // copy time is fully exposed.
+            let ready = ctx.mem().channel_free_at(Tier::Fast);
+            ctx.stall_until(ready);
+        }
+    }
+
+    fn after_layer(&mut self, layer: usize, ctx: &mut ExecCtx<'_>) {
+        match self.phase {
+            Phase::Profiling => {
+                if self.prof_recording {
+                    let wall = ctx.now() - self.prof_layer_start.0;
+                    let fault = ctx.breakdown().profiling_fault_ns - self.prof_layer_start.1;
+                    self.prof_layer_times.push(wall.saturating_sub(fault));
+                }
+            }
+            Phase::Managed => {
+                let Some(plan) = self.plan.as_ref() else { return };
+                let k = plan.interval_of(layer);
+                let window = if self.cfg.lookahead { k + 2 } else { k + 1 };
+                let boundary = window * plan.mil;
+                // Eviction exists to make room for the upcoming prefetch
+                // (Section IV-D); when free space already covers the next
+                // interval's demand, moving tensors out only wastes
+                // bandwidth.
+                let next = (k + 1) % plan.num_intervals();
+                let demand: u64 = self
+                    .schedule
+                    .as_ref()
+                    .map(|sch| {
+                        sch.long_tensors_in(plan.start_layer(next), plan.end_layer(next))
+                            .iter()
+                            .filter(|&&t| ctx.is_live(t))
+                            .map(|&t| ctx.tensor_bytes_in(t, Tier::Slow))
+                            .sum()
+                    })
+                    .unwrap_or(u64::MAX);
+                let free_bytes = self.free_for_long_pages(ctx) * ctx.mem().page_size();
+                if free_bytes < demand {
+                    self.evict_after_layer(layer, boundary, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_step_end(&mut self, ctx: &mut ExecCtx<'_>) {
+        if self.phase == Phase::Profiling {
+            if self.prof_recording {
+                self.prof_recording = false;
+                self.finish_profiling(ctx);
+            }
+            return;
+        }
+        self.close_interval_measurement(ctx.now());
+        if self.trial_step_flag {
+            self.stats.trial_steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case3_state_machine_tries_both_then_decides() {
+        let mut s = Case3State::default();
+        let (c1, t1) = s.next_choice();
+        assert_eq!((c1, t1), (Choice::Wait, true));
+        s.record(Choice::Wait, 100);
+        let (c2, t2) = s.next_choice();
+        assert_eq!((c2, t2), (Choice::Leave, true));
+        s.record(Choice::Leave, 50);
+        let (c3, t3) = s.next_choice();
+        assert_eq!((c3, t3), (Choice::Leave, false));
+    }
+
+    #[test]
+    fn case3_prefers_waiting_on_tie() {
+        let mut s = Case3State::default();
+        s.record(Choice::Wait, 100);
+        s.record(Choice::Leave, 100);
+        assert_eq!(s.decided, Some(Choice::Wait));
+    }
+
+    #[test]
+    fn policy_name_reflects_mode() {
+        assert_eq!(SentinelPolicy::new(SentinelConfig::default()).name(), "sentinel");
+        assert_eq!(SentinelPolicy::new(SentinelConfig::gpu()).name(), "sentinel-gpu");
+    }
+}

@@ -1,0 +1,187 @@
+//! Data reorganization: the co-allocation rules of Section IV-B.
+//!
+//! After profiling, Sentinel assigns every tensor to an allocation pool so
+//! that pages are shared only by tensors with similar lifetime and hotness:
+//!
+//! 1. short-lived tensors alive in the same layer share pages;
+//! 2. long-lived tensors residing in exactly the same layers are
+//!    co-allocated grouped by access count (our pool-per-hotness-class is
+//!    the page-packing equivalent of the paper's sort-then-allocate);
+//! 3. long-lived tensors with different layer spans never share a page;
+//! 4. long- and short-lived tensors never share a page;
+//! 5. preallocated tensors (weights, inputs) each get a private pool — they
+//!    cannot be moved mid-training, so Sentinel only guarantees isolation.
+
+use sentinel_dnn::{PoolSpec, Tensor};
+use sentinel_profiler::ProfileReport;
+use std::collections::HashMap;
+
+/// Hotness class used to group long-lived tensors with similar access counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HotClass {
+    /// Never observed in main memory.
+    Untouched,
+    /// 1–10 accesses.
+    Cold,
+    /// 11–100 accesses.
+    Warm,
+    /// More than 100 accesses.
+    Hot,
+}
+
+impl HotClass {
+    /// Classify an access count.
+    #[must_use]
+    pub fn of(accesses: u64) -> Self {
+        match accesses {
+            0 => HotClass::Untouched,
+            1..=10 => HotClass::Cold,
+            11..=100 => HotClass::Warm,
+            _ => HotClass::Hot,
+        }
+    }
+
+    fn index(self) -> u64 {
+        match self {
+            HotClass::Untouched => 0,
+            HotClass::Cold => 1,
+            HotClass::Warm => 2,
+            HotClass::Hot => 3,
+        }
+    }
+}
+
+/// The reorganization plan: a pool assignment for every tensor.
+#[derive(Debug, Clone)]
+pub struct ReorgPlan {
+    pools: Vec<PoolSpec>,
+}
+
+/// Key space layout for pool ids (disjoint namespaces per rule).
+const SHORT_BASE: u64 = 1 << 40;
+const LONG_BASE: u64 = 2 << 40;
+const PREALLOC_BASE: u64 = 3 << 40;
+
+impl ReorgPlan {
+    /// Build the plan from the profiled tensor population.
+    #[must_use]
+    pub fn new(profile: &ProfileReport) -> Self {
+        // Long-lived groups: (first, last, hotness) → dense group id.
+        let mut long_groups: HashMap<(usize, usize, u64), u64> = HashMap::new();
+        let mut pools = Vec::with_capacity(profile.tensors.len());
+        for t in &profile.tensors {
+            let spec = if t.kind.is_preallocated() {
+                PoolSpec::packed(PREALLOC_BASE + u64::from(t.id.0))
+            } else if t.short_lived {
+                // Rule 1: same-layer short-lived tensors share one pool.
+                let layer = t.layer_span.map_or(0, |(f, _)| f) as u64;
+                PoolSpec::packed(SHORT_BASE + layer)
+            } else {
+                // Rules 2–3: same layer span + same hotness class.
+                let (f, l) = t.layer_span.unwrap_or((usize::MAX, usize::MAX));
+                let key = (f, l, HotClass::of(t.mm_accesses).index());
+                let next = long_groups.len() as u64;
+                let group = *long_groups.entry(key).or_insert(next);
+                PoolSpec::packed(LONG_BASE + group)
+            };
+            pools.push(spec);
+        }
+        ReorgPlan { pools }
+    }
+
+    /// Pool assignment for a tensor.
+    #[must_use]
+    pub fn pool_for(&self, tensor: &Tensor) -> PoolSpec {
+        self.pools[tensor.id.index()]
+    }
+
+    /// Number of distinct pools in the plan.
+    #[must_use]
+    pub fn num_pools(&self) -> usize {
+        let mut keys: Vec<u64> = self.pools.iter().map(|p| p.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_mem::HmConfig;
+    use sentinel_models::{ModelSpec, ModelZoo};
+    use sentinel_profiler::Profiler;
+
+    fn plan_and_graph() -> (ReorgPlan, sentinel_dnn::Graph) {
+        let g = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+        let p = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
+        (ReorgPlan::new(&p), g)
+    }
+
+    #[test]
+    fn hot_class_boundaries() {
+        assert_eq!(HotClass::of(0), HotClass::Untouched);
+        assert_eq!(HotClass::of(1), HotClass::Cold);
+        assert_eq!(HotClass::of(10), HotClass::Cold);
+        assert_eq!(HotClass::of(11), HotClass::Warm);
+        assert_eq!(HotClass::of(100), HotClass::Warm);
+        assert_eq!(HotClass::of(101), HotClass::Hot);
+    }
+
+    #[test]
+    fn short_and_long_never_share_pools() {
+        let (plan, g) = plan_and_graph();
+        for t in g.tensors() {
+            let spec = plan.pool_for(t);
+            if t.is_short_lived() {
+                assert!(spec.key >= SHORT_BASE && spec.key < LONG_BASE, "{}", t.name);
+            } else if !t.preallocated() {
+                assert!(spec.key >= LONG_BASE && spec.key < PREALLOC_BASE, "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn prealloc_tensors_have_private_pools() {
+        let (plan, g) = plan_and_graph();
+        let mut seen = std::collections::HashSet::new();
+        for t in g.preallocated() {
+            assert!(seen.insert(plan.pool_for(t).key), "{} shares a pool", t.name);
+        }
+    }
+
+    #[test]
+    fn same_layer_short_lived_share_a_pool() {
+        let (plan, g) = plan_and_graph();
+        let mut by_layer: HashMap<usize, u64> = HashMap::new();
+        for t in g.tensors().iter().filter(|t| t.is_short_lived()) {
+            let layer = t.layer_span().map(|(f, _)| f).unwrap();
+            let key = plan.pool_for(t).key;
+            if let Some(&prev) = by_layer.get(&layer) {
+                assert_eq!(prev, key, "{} breaks rule 1", t.name);
+            }
+            by_layer.insert(layer, key);
+        }
+    }
+
+    #[test]
+    fn different_spans_never_share_long_pools() {
+        let (plan, g) = plan_and_graph();
+        let mut span_of_pool: HashMap<u64, (usize, usize)> = HashMap::new();
+        for t in g.tensors().iter().filter(|t| !t.is_short_lived() && !t.preallocated()) {
+            let key = plan.pool_for(t).key;
+            let span = t.layer_span().unwrap();
+            if let Some(&prev) = span_of_pool.get(&key) {
+                assert_eq!(prev, span, "{} breaks rule 3", t.name);
+            }
+            span_of_pool.insert(key, span);
+        }
+    }
+
+    #[test]
+    fn plan_uses_many_fewer_pools_than_tensors() {
+        let (plan, g) = plan_and_graph();
+        assert!(plan.num_pools() < g.num_tensors());
+        assert!(plan.num_pools() > 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Static access schedule derived from the graph: which layers reference
+//! which tensors, and when a tensor is next used.
+
+use sentinel_dnn::{Graph, TensorId};
+
+/// Per-tensor and per-layer reference index over one training step.
+///
+/// Training steps repeat identically (the paper's key exploitable property),
+/// so "next use" is cyclic: a weight last touched in the backward pass is
+/// next used at its first forward reference of the following step.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// tensor → sorted distinct layers referencing it.
+    refs: Vec<Vec<usize>>,
+    /// layer → distinct long-lived (incl. preallocated) tensors referenced.
+    long_by_layer: Vec<Vec<TensorId>>,
+    num_layers: usize,
+}
+
+impl Schedule {
+    /// Build the index for one graph.
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.num_tensors();
+        let mut refs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut long_by_layer: Vec<Vec<TensorId>> = vec![Vec::new(); graph.num_layers()];
+        for (li, layer) in graph.layers().iter().enumerate() {
+            for op in &layer.ops {
+                for t in op.referenced() {
+                    let list = &mut refs[t.index()];
+                    if list.last() != Some(&li) {
+                        list.push(li);
+                    }
+                    if !graph.tensor(t).is_short_lived() {
+                        let ll = &mut long_by_layer[li];
+                        if ll.last() != Some(&t) {
+                            ll.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        for ll in &mut long_by_layer {
+            ll.sort_unstable();
+            ll.dedup();
+        }
+        Schedule { refs, long_by_layer, num_layers: graph.num_layers() }
+    }
+
+    /// Number of layers in the step.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Sorted layers referencing `t` within one step.
+    #[must_use]
+    pub fn layers_of(&self, t: TensorId) -> &[usize] {
+        &self.refs[t.index()]
+    }
+
+    /// Long-lived tensors referenced in `layer`.
+    #[must_use]
+    pub fn long_tensors_in_layer(&self, layer: usize) -> &[TensorId] {
+        &self.long_by_layer[layer]
+    }
+
+    /// Distinct long-lived tensors referenced in the half-open layer range.
+    #[must_use]
+    pub fn long_tensors_in(&self, start: usize, end: usize) -> Vec<TensorId> {
+        let mut out: Vec<TensorId> = self
+            .long_by_layer
+            .iter()
+            .take(end.min(self.num_layers))
+            .skip(start)
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The next layer (cyclically) at or after `layer` in which `t` is used.
+    /// Values `>= num_layers` indicate "not until the next step": e.g.
+    /// `num_layers + 3` means layer 3 of the following step. Returns `None`
+    /// for tensors never referenced.
+    #[must_use]
+    pub fn next_use_cyclic(&self, t: TensorId, layer: usize) -> Option<usize> {
+        let list = &self.refs[t.index()];
+        if list.is_empty() {
+            return None;
+        }
+        match list.iter().find(|&&l| l >= layer) {
+            Some(&l) => Some(l),
+            None => Some(list[0] + self.num_layers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_dnn::{GraphBuilder, OpKind, TensorKind};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new("g", 1);
+        let w = b.tensor("w", 4096, TensorKind::Weight);
+        let act = b.tensor("act", 4096, TensorKind::Activation);
+        let tmp = b.tensor("tmp", 64, TensorKind::Temporary);
+        b.begin_layer("l0");
+        b.op("f", OpKind::Other, 1).reads(&[w]).writes(&[act, tmp]).push();
+        b.op("g", OpKind::Other, 1).reads(&[tmp]).writes(&[act]).push();
+        b.begin_layer("l1");
+        b.op("h", OpKind::Other, 1).reads(&[act]).writes(&[act]).push();
+        b.begin_layer("l2");
+        b.op("i", OpKind::Other, 1).reads(&[act, w]).writes(&[w]).push();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn refs_are_sorted_and_deduped() {
+        let g = graph();
+        let s = Schedule::new(&g);
+        assert_eq!(s.layers_of(TensorId(0)), &[0, 2]); // w
+        assert_eq!(s.layers_of(TensorId(1)), &[0, 1, 2]); // act
+        assert_eq!(s.layers_of(TensorId(2)), &[0]); // tmp
+    }
+
+    #[test]
+    fn long_by_layer_excludes_short_lived() {
+        let g = graph();
+        let s = Schedule::new(&g);
+        assert_eq!(s.long_tensors_in_layer(0), &[TensorId(0), TensorId(1)]);
+        assert_eq!(s.long_tensors_in(0, 3), vec![TensorId(0), TensorId(1)]);
+        assert_eq!(s.long_tensors_in(1, 2), vec![TensorId(1)]);
+    }
+
+    #[test]
+    fn next_use_wraps_cyclically() {
+        let g = graph();
+        let s = Schedule::new(&g);
+        assert_eq!(s.next_use_cyclic(TensorId(0), 0), Some(0));
+        assert_eq!(s.next_use_cyclic(TensorId(0), 1), Some(2));
+        // After layer 2, w is next used at layer 0 of the next step.
+        assert_eq!(s.next_use_cyclic(TensorId(0), 3), Some(3));
+        assert_eq!(s.next_use_cyclic(TensorId(2), 1), Some(0 + 3));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the interval plan and the Eq. 1/2 solver.
+
+use proptest::prelude::*;
+use sentinel_core::{solve_mil, IntervalPlan, Schedule};
+use sentinel_mem::HmConfig;
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_profiler::Profiler;
+
+proptest! {
+    #[test]
+    fn interval_plan_partitions_layers_exactly(
+        mil in 1usize..40,
+        layers in 1usize..120
+    ) {
+        let p = IntervalPlan::new(mil, layers);
+        // Every layer belongs to exactly one interval, intervals tile the step.
+        let mut covered = vec![false; layers];
+        for k in 0..p.num_intervals() {
+            let (s, e) = (p.start_layer(k), p.end_layer(k));
+            prop_assert!(s < e || (s == e && k + 1 == p.num_intervals()));
+            for l in s..e {
+                prop_assert!(!covered[l], "layer {} covered twice", l);
+                covered[l] = true;
+                prop_assert_eq!(p.interval_of(l), k);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        // Interval starts are exactly the multiples of mil.
+        for l in 0..layers {
+            prop_assert_eq!(p.is_interval_start(l), l % p.mil == 0);
+        }
+    }
+
+    #[test]
+    fn plan_boundaries_are_monotone(mil in 1usize..20, layers in 1usize..80) {
+        let p = IntervalPlan::new(mil, layers);
+        for k in 0..p.num_intervals() {
+            prop_assert!(p.start_layer(k) <= p.end_layer(k));
+            if k > 0 {
+                prop_assert_eq!(p.start_layer(k), p.end_layer(k - 1));
+            }
+        }
+        prop_assert_eq!(p.end_layer(p.num_intervals() - 1), layers);
+    }
+}
+
+#[test]
+fn solver_respects_the_space_constraint() {
+    let g = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+    let s = Schedule::new(&g);
+    let p = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
+    for fraction in [10u64, 5, 3, 2] {
+        let fast = g.peak_live_bytes() / fraction;
+        let sol = solve_mil(&g, &s, &p, fast, fast / 10, 10.0);
+        // The chosen MIL is feasible (or the fallback 1 when nothing is).
+        let chosen = sol.candidates.iter().find(|c| c.mil == sol.mil).unwrap();
+        let any_feasible = sol.candidates.iter().any(|c| c.feasible);
+        if any_feasible {
+            assert!(chosen.feasible, "chosen MIL {} violates Eq. 1", sol.mil);
+            assert!(chosen.tensor_bytes < fast - fast / 10);
+        } else {
+            assert_eq!(sol.mil, 1);
+        }
+    }
+}
+
+#[test]
+fn solver_is_monotone_in_fast_size() {
+    let g = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+    let s = Schedule::new(&g);
+    let p = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
+    let mut prev = 0usize;
+    for fraction in [5u64, 4, 3, 2, 1] {
+        let fast = g.peak_live_bytes() / fraction;
+        let sol = solve_mil(&g, &s, &p, fast, 0, 10.0);
+        assert!(sol.mil >= prev, "MIL shrank as fast memory grew");
+        prev = sol.mil;
+    }
+}
+
+#[test]
+fn schedule_agrees_with_graph_liveness() {
+    let g = ModelZoo::build(&ModelSpec::bert_base(2).with_scale(8)).unwrap();
+    let s = Schedule::new(&g);
+    for t in g.tensors() {
+        let layers = s.layers_of(t.id);
+        if let Some((first, last)) = t.layer_span() {
+            assert_eq!(layers.first().copied(), Some(first), "{}", t.name);
+            assert_eq!(layers.last().copied(), Some(last), "{}", t.name);
+            // Sorted and in range.
+            assert!(layers.windows(2).all(|w| w[0] < w[1]), "{}", t.name);
+        } else {
+            assert!(layers.is_empty());
+        }
+        // next_use_cyclic at any referenced layer returns that layer.
+        for &l in layers {
+            assert_eq!(s.next_use_cyclic(t.id, l), Some(l), "{}", t.name);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the DNN substrate.
+
+use crate::tensor::TensorId;
+use sentinel_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from graph construction ([`crate::GraphBuilder::finish`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no operations.
+    Empty,
+    /// A tensor was declared with zero bytes.
+    ZeroSizedTensor {
+        /// The offending tensor.
+        tensor: TensorId,
+        /// Its debug name.
+        name: String,
+    },
+    /// An op referenced a tensor id that was never declared.
+    UnknownTensor {
+        /// The offending tensor id.
+        tensor: TensorId,
+        /// Name of the op making the reference.
+        op: String,
+    },
+    /// A runtime-allocated tensor is read before any op writes it.
+    ReadBeforeWrite {
+        /// The offending tensor.
+        tensor: TensorId,
+        /// Its debug name.
+        name: String,
+        /// Name of the reading op.
+        op: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph contains no operations"),
+            GraphError::ZeroSizedTensor { tensor, name } => {
+                write!(f, "tensor {tensor} ({name}) has zero size")
+            }
+            GraphError::UnknownTensor { tensor, op } => {
+                write!(f, "op {op} references undeclared tensor {tensor}")
+            }
+            GraphError::ReadBeforeWrite { tensor, name, op } => {
+                write!(f, "op {op} reads tensor {tensor} ({name}) before any write")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Errors from training execution ([`crate::Executor`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The underlying memory system rejected an operation.
+    Mem(MemError),
+    /// Neither tier had room for an allocation even after the policy's
+    /// capacity-pressure handling.
+    OutOfMemory {
+        /// Tensor that could not be placed.
+        tensor: TensorId,
+        /// Bytes requested.
+        bytes: u64,
+    },
+    /// A policy referenced a tensor with no live allocation.
+    NotAllocated {
+        /// The offending tensor.
+        tensor: TensorId,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "memory system error: {e}"),
+            ExecError::OutOfMemory { tensor, bytes } => {
+                write!(f, "out of memory allocating {bytes} bytes for tensor {tensor}")
+            }
+            ExecError::NotAllocated { tensor } => {
+                write!(f, "tensor {tensor} has no live allocation")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for ExecError {
+    fn from(e: MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_error_display() {
+        let e = GraphError::ReadBeforeWrite { tensor: TensorId(3), name: "x".into(), op: "conv".into() };
+        let s = e.to_string();
+        assert!(s.contains("t3"));
+        assert!(s.contains("conv"));
+    }
+
+    #[test]
+    fn exec_error_wraps_mem_error() {
+        let e: ExecError = MemError::NotMapped { page: 5 }.into();
+        assert!(e.to_string().contains("page 5"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<ExecError>();
+    }
+}

@@ -1,0 +1,165 @@
+//! Operations and their analytic cost model.
+
+use crate::tensor::TensorId;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a dataflow operation.
+///
+/// The set covers the primitives of the five evaluated model families
+/// (ResNet, BERT, LSTM, MobileNet, DCGAN) plus the tensor-processing helper
+/// ops the paper highlights as sources of short-lived temporaries (padding,
+/// transpose, expansion, concatenation, squeeze — Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// 2-D convolution (`nn.conv2d`).
+    Conv2d,
+    /// Depthwise separable convolution (MobileNet).
+    DepthwiseConv2d,
+    /// Transposed convolution (DCGAN generator).
+    ConvTranspose2d,
+    /// Dense matrix multiplication.
+    MatMul,
+    /// Batch normalization (`nn.bn`).
+    BatchNorm,
+    /// Layer normalization (BERT).
+    LayerNorm,
+    /// Elementwise activation (`nn.relu`, GELU, tanh, …).
+    Activation,
+    /// Softmax.
+    Softmax,
+    /// Pooling.
+    Pool,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Concatenation.
+    Concat,
+    /// Transpose / permutation.
+    Transpose,
+    /// Padding.
+    Pad,
+    /// Embedding lookup.
+    Embedding,
+    /// One LSTM cell step (fused gates).
+    LstmCell,
+    /// Scaled dot-product attention core.
+    Attention,
+    /// Dropout.
+    Dropout,
+    /// Loss computation.
+    Loss,
+    /// Optimizer weight update (SGD/Adam).
+    WeightUpdate,
+    /// Anything else.
+    Other,
+}
+
+impl OpKind {
+    /// Whether the op is a convolution whose *input* tensors vDNN offloads.
+    #[must_use]
+    pub fn is_conv(self) -> bool {
+        matches!(self, OpKind::Conv2d | OpKind::DepthwiseConv2d | OpKind::ConvTranspose2d)
+    }
+}
+
+/// One operand reference: which tensor, and how many full passes over it the
+/// op makes in main memory.
+///
+/// `passes > 1` models operations that stream a tensor repeatedly (im2col
+/// convolution re-reads the input; attention re-reads keys per query block).
+/// Combined with the cache filter this produces the skewed per-tensor
+/// main-memory access counts of the paper's Observation 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operand {
+    /// The tensor referenced.
+    pub tensor: TensorId,
+    /// Full traversals of the tensor performed by the op (≥ 1).
+    pub passes: u32,
+}
+
+impl Operand {
+    /// An operand traversed once.
+    #[must_use]
+    pub fn once(tensor: TensorId) -> Self {
+        Operand { tensor, passes: 1 }
+    }
+
+    /// An operand traversed `passes` times.
+    #[must_use]
+    pub fn with_passes(tensor: TensorId, passes: u32) -> Self {
+        Operand { tensor, passes: passes.max(1) }
+    }
+}
+
+impl From<TensorId> for Operand {
+    fn from(tensor: TensorId) -> Self {
+        Operand::once(tensor)
+    }
+}
+
+/// A dataflow operation: reads some tensors, computes, writes others.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Debug name, e.g. `"res2a/conv1"`.
+    pub name: String,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Floating-point operations performed (drives compute time).
+    pub flops: u64,
+    /// Tensors read.
+    pub reads: Vec<Operand>,
+    /// Tensors written (outputs and in-place updates).
+    pub writes: Vec<Operand>,
+}
+
+impl Op {
+    /// Every tensor the op references (reads then writes, with duplicates).
+    pub fn referenced(&self) -> impl Iterator<Item = TensorId> + '_ {
+        self.reads.iter().chain(self.writes.iter()).map(|o| o.tensor)
+    }
+
+    /// Total bytes the op moves, given a size lookup.
+    pub fn bytes_touched(&self, size_of: impl Fn(TensorId) -> u64) -> u64 {
+        self.reads
+            .iter()
+            .chain(self.writes.iter())
+            .map(|o| size_of(o.tensor) * u64::from(o.passes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_passes_floor_at_one() {
+        assert_eq!(Operand::with_passes(TensorId(0), 0).passes, 1);
+        assert_eq!(Operand::with_passes(TensorId(0), 3).passes, 3);
+        assert_eq!(Operand::once(TensorId(1)).passes, 1);
+        let o: Operand = TensorId(2).into();
+        assert_eq!(o.passes, 1);
+    }
+
+    #[test]
+    fn conv_detection() {
+        assert!(OpKind::Conv2d.is_conv());
+        assert!(OpKind::DepthwiseConv2d.is_conv());
+        assert!(OpKind::ConvTranspose2d.is_conv());
+        assert!(!OpKind::MatMul.is_conv());
+    }
+
+    #[test]
+    fn bytes_touched_respects_passes() {
+        let op = Op {
+            name: "conv".into(),
+            kind: OpKind::Conv2d,
+            flops: 100,
+            reads: vec![Operand::with_passes(TensorId(0), 2)],
+            writes: vec![Operand::once(TensorId(1))],
+        };
+        let size = |t: TensorId| if t == TensorId(0) { 100 } else { 10 };
+        assert_eq!(op.bytes_touched(size), 210);
+        assert_eq!(op.referenced().count(), 2);
+    }
+}

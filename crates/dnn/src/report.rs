@@ -1,0 +1,201 @@
+//! Step and training reports.
+
+use sentinel_mem::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Where the time of one training step went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepBreakdown {
+    /// Operator compute time.
+    pub compute_ns: Ns,
+    /// Time spent in memory accesses (all tiers, cache included).
+    pub memory_ns: Ns,
+    /// Time stalled waiting (migration completion, policy waits).
+    pub stall_ns: Ns,
+    /// Capuchin-style recomputation time.
+    pub recompute_ns: Ns,
+    /// Portion of `memory_ns` that was profiling fault overhead.
+    pub profiling_fault_ns: Ns,
+}
+
+impl StepBreakdown {
+    /// Total accounted time.
+    #[must_use]
+    pub fn total_ns(&self) -> Ns {
+        self.compute_ns + self.memory_ns + self.stall_ns + self.recompute_ns
+    }
+}
+
+/// Outcome of one training step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Wall-clock (simulated) duration of the step.
+    pub duration_ns: Ns,
+    /// Cost breakdown.
+    pub breakdown: StepBreakdown,
+    /// Bytes migrated slow→fast during the step.
+    pub promoted_bytes: u64,
+    /// Bytes migrated fast→slow during the step.
+    pub demoted_bytes: u64,
+    /// Main-memory accesses to fast memory during the step.
+    pub fast_accesses: u64,
+    /// Main-memory accesses to slow memory during the step.
+    pub slow_accesses: u64,
+    /// Profiling faults taken during the step.
+    pub faults: u64,
+    /// Peak mapped fast-tier pages observed so far.
+    pub peak_fast_pages: u64,
+    /// Peak mapped pages (both tiers) observed so far.
+    pub peak_total_pages: u64,
+}
+
+impl StepReport {
+    /// Total bytes migrated in either direction.
+    #[must_use]
+    pub fn migrated_bytes(&self) -> u64 {
+        self.promoted_bytes + self.demoted_bytes
+    }
+}
+
+/// Outcome of a whole training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Model name.
+    pub model: String,
+    /// Policy name.
+    pub policy: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Per-step reports in order.
+    pub steps: Vec<StepReport>,
+}
+
+impl TrainReport {
+    /// Number of steps executed.
+    #[must_use]
+    pub fn steps_executed(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Mean step duration over the *steady state*: the last half of the run,
+    /// which excludes profiling and test-and-trial steps.
+    #[must_use]
+    pub fn steady_step_ns(&self) -> Ns {
+        if self.steps.is_empty() {
+            return 0;
+        }
+        let tail = &self.steps[self.steps.len() / 2..];
+        tail.iter().map(|s| s.duration_ns).sum::<Ns>() / tail.len() as u64
+    }
+
+    /// Steady-state training throughput in samples per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let ns = self.steady_step_ns();
+        if ns == 0 {
+            0.0
+        } else {
+            self.batch as f64 * 1e9 / ns as f64
+        }
+    }
+
+    /// Bytes migrated (both directions) in one steady-state step.
+    #[must_use]
+    pub fn steady_migrated_bytes(&self) -> u64 {
+        if self.steps.is_empty() {
+            return 0;
+        }
+        let tail = &self.steps[self.steps.len() / 2..];
+        tail.iter().map(StepReport::migrated_bytes).sum::<u64>() / tail.len() as u64
+    }
+
+    /// Mean steady-state breakdown.
+    #[must_use]
+    pub fn steady_breakdown(&self) -> StepBreakdown {
+        if self.steps.is_empty() {
+            return StepBreakdown::default();
+        }
+        let tail = &self.steps[self.steps.len() / 2..];
+        let n = tail.len() as u64;
+        let mut acc = StepBreakdown::default();
+        for s in tail {
+            acc.compute_ns += s.breakdown.compute_ns;
+            acc.memory_ns += s.breakdown.memory_ns;
+            acc.stall_ns += s.breakdown.stall_ns;
+            acc.recompute_ns += s.breakdown.recompute_ns;
+            acc.profiling_fault_ns += s.breakdown.profiling_fault_ns;
+        }
+        StepBreakdown {
+            compute_ns: acc.compute_ns / n,
+            memory_ns: acc.memory_ns / n,
+            stall_ns: acc.stall_ns / n,
+            recompute_ns: acc.recompute_ns / n,
+            profiling_fault_ns: acc.profiling_fault_ns / n,
+        }
+    }
+
+    /// Peak fast-tier pages over the run.
+    #[must_use]
+    pub fn peak_fast_pages(&self) -> u64 {
+        self.steps.iter().map(|s| s.peak_fast_pages).max().unwrap_or(0)
+    }
+
+    /// Peak mapped pages (both tiers) over the run.
+    #[must_use]
+    pub fn peak_total_pages(&self) -> u64 {
+        self.steps.iter().map(|s| s.peak_total_pages).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_durations(durations: &[Ns]) -> TrainReport {
+        TrainReport {
+            model: "m".into(),
+            policy: "p".into(),
+            batch: 32,
+            steps: durations
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| StepReport { step: i, duration_ns: d, ..StepReport::default() })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn steady_state_skips_warmup() {
+        let r = report_with_durations(&[1_000_000, 100, 100, 100]);
+        assert_eq!(r.steady_step_ns(), 100);
+    }
+
+    #[test]
+    fn throughput_is_batch_over_step_time() {
+        let r = report_with_durations(&[1_000_000_000, 1_000_000_000]);
+        assert!((r.throughput() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = TrainReport::default();
+        assert_eq!(r.steady_step_ns(), 0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.steady_migrated_bytes(), 0);
+        assert_eq!(r.peak_fast_pages(), 0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = StepBreakdown { compute_ns: 1, memory_ns: 2, stall_ns: 3, recompute_ns: 4, profiling_fault_ns: 1 };
+        assert_eq!(b.total_ns(), 10);
+    }
+
+    #[test]
+    fn migrated_bytes_sums_directions() {
+        let s = StepReport { promoted_bytes: 10, demoted_bytes: 5, ..StepReport::default() };
+        assert_eq!(s.migrated_bytes(), 15);
+    }
+}

@@ -1,0 +1,207 @@
+//! Tensors: the unit of memory management in Sentinel.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tensor within one [`crate::Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub u32);
+
+impl TensorId {
+    /// Index into per-tensor arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Semantic role of a tensor in the training graph.
+///
+/// Sentinel itself is *graph agnostic* — it never branches on this kind.
+/// The kinds exist for the benefit of baselines that do use domain knowledge
+/// (vDNN offloads convolution inputs; Capuchin recomputes activations) and
+/// for characterization reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Training batch input, allocated before the training loop.
+    Input,
+    /// Model weights, allocated before the training loop and updated each step.
+    Weight,
+    /// Gradient of a weight, produced in backward and consumed by the update.
+    WeightGrad,
+    /// Optimizer state (e.g. momentum), allocated before the training loop.
+    OptimizerState,
+    /// Forward activation kept for the backward pass (long-lived intermediate).
+    Activation,
+    /// Gradient flowing backward (usually consumed by the next backward layer).
+    ActivationGrad,
+    /// Operation-internal scratch (padding, transpose, im2col, …) — the
+    /// paper's archetypal *short-lived* tensor.
+    Temporary,
+}
+
+impl TensorKind {
+    /// Whether tensors of this kind are allocated before the first training
+    /// step (and therefore can never be re-organized by Sentinel — the paper
+    /// only guarantees they never share pages with other tensors).
+    #[must_use]
+    pub fn is_preallocated(self) -> bool {
+        matches!(self, TensorKind::Input | TensorKind::Weight | TensorKind::OptimizerState)
+    }
+}
+
+/// Reference to one operation inside a graph: `(layer index, op index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpRef {
+    /// Index of the layer in [`crate::Graph::layers`].
+    pub layer: usize,
+    /// Index of the op within the layer.
+    pub op: usize,
+}
+
+/// A tensor: size, role and (statically derived) live range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Identifier within the graph.
+    pub id: TensorId,
+    /// Debug name, e.g. `"conv3/weights"`.
+    pub name: String,
+    /// Payload size in bytes (always > 0 in a validated graph).
+    pub bytes: u64,
+    /// Semantic role.
+    pub kind: TensorKind,
+    /// First op that references the tensor (write for runtime-allocated
+    /// tensors). `None` until the graph is finished, or for unused tensors.
+    pub first_ref: Option<OpRef>,
+    /// Last op that references the tensor.
+    pub last_ref: Option<OpRef>,
+}
+
+impl Tensor {
+    /// Whether the tensor is allocated before the training loop.
+    #[must_use]
+    pub fn preallocated(&self) -> bool {
+        self.kind.is_preallocated()
+    }
+
+    /// Lifetime in layers: number of layers spanned by the live range.
+    ///
+    /// The paper defines a *short-lived* tensor as one whose lifetime is no
+    /// longer than one layer, i.e. `lifetime_layers() == 1`. Preallocated
+    /// tensors and unused tensors report `usize::MAX` and `0` respectively.
+    #[must_use]
+    pub fn lifetime_layers(&self) -> usize {
+        if self.preallocated() {
+            return usize::MAX;
+        }
+        match (self.first_ref, self.last_ref) {
+            (Some(f), Some(l)) => l.layer - f.layer + 1,
+            _ => 0,
+        }
+    }
+
+    /// The paper's short-lived classification: runtime-allocated and alive
+    /// within a single layer.
+    #[must_use]
+    pub fn is_short_lived(&self) -> bool {
+        !self.preallocated() && self.lifetime_layers() == 1
+    }
+
+    /// Whether the tensor is live during `layer` (inclusive range).
+    #[must_use]
+    pub fn live_in_layer(&self, layer: usize) -> bool {
+        if self.preallocated() {
+            return true;
+        }
+        match (self.first_ref, self.last_ref) {
+            (Some(f), Some(l)) => layer >= f.layer && layer <= l.layer,
+            _ => false,
+        }
+    }
+
+    /// The inclusive layer span `(first, last)` of the live range, if used.
+    #[must_use]
+    pub fn layer_span(&self) -> Option<(usize, usize)> {
+        match (self.first_ref, self.last_ref) {
+            (Some(f), Some(l)) => Some((f.layer, l.layer)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(kind: TensorKind, first: Option<OpRef>, last: Option<OpRef>) -> Tensor {
+        Tensor { id: TensorId(0), name: "t".into(), bytes: 1024, kind, first_ref: first, last_ref: last }
+    }
+
+    #[test]
+    fn prealloc_kinds() {
+        assert!(TensorKind::Weight.is_preallocated());
+        assert!(TensorKind::Input.is_preallocated());
+        assert!(TensorKind::OptimizerState.is_preallocated());
+        assert!(!TensorKind::Activation.is_preallocated());
+        assert!(!TensorKind::Temporary.is_preallocated());
+    }
+
+    #[test]
+    fn short_lived_is_single_layer_runtime_tensor() {
+        let t = tensor(
+            TensorKind::Temporary,
+            Some(OpRef { layer: 3, op: 0 }),
+            Some(OpRef { layer: 3, op: 2 }),
+        );
+        assert!(t.is_short_lived());
+        assert_eq!(t.lifetime_layers(), 1);
+
+        let long = tensor(
+            TensorKind::Activation,
+            Some(OpRef { layer: 3, op: 0 }),
+            Some(OpRef { layer: 9, op: 1 }),
+        );
+        assert!(!long.is_short_lived());
+        assert_eq!(long.lifetime_layers(), 7);
+    }
+
+    #[test]
+    fn weights_are_never_short_lived() {
+        let w = tensor(
+            TensorKind::Weight,
+            Some(OpRef { layer: 0, op: 0 }),
+            Some(OpRef { layer: 0, op: 0 }),
+        );
+        assert!(!w.is_short_lived());
+        assert_eq!(w.lifetime_layers(), usize::MAX);
+        assert!(w.live_in_layer(100));
+    }
+
+    #[test]
+    fn liveness_window() {
+        let t = tensor(
+            TensorKind::Activation,
+            Some(OpRef { layer: 2, op: 0 }),
+            Some(OpRef { layer: 5, op: 0 }),
+        );
+        assert!(!t.live_in_layer(1));
+        assert!(t.live_in_layer(2));
+        assert!(t.live_in_layer(5));
+        assert!(!t.live_in_layer(6));
+        assert_eq!(t.layer_span(), Some((2, 5)));
+    }
+
+    #[test]
+    fn unused_tensor_has_no_span() {
+        let t = tensor(TensorKind::Temporary, None, None);
+        assert_eq!(t.lifetime_layers(), 0);
+        assert!(!t.live_in_layer(0));
+        assert_eq!(t.layer_span(), None);
+    }
+}

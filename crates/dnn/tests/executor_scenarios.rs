@@ -1,0 +1,238 @@
+//! Executor scenario tests: custom policies exercising the full hook
+//! surface — recompute-style release/restore, capacity-pressure handling,
+//! pool grouping, and access interception.
+
+use sentinel_dnn::{
+    ExecCtx, Executor, Graph, GraphBuilder, MemoryManager, OpKind, PoolSpec, SingleTier, Tensor,
+    TensorId, TensorKind,
+};
+use sentinel_mem::{AccessKind, HmConfig, MemorySystem, Tier};
+
+/// A chain of N layers: act_i = f(act_{i-1}, w_i), with a backward pass.
+fn chain(n: usize, act_bytes: u64) -> Graph {
+    let mut b = GraphBuilder::new("chain", 1);
+    let mut acts = Vec::new();
+    let x = b.tensor("x", act_bytes, TensorKind::Input);
+    let mut prev = x;
+    let mut weights = Vec::new();
+    for i in 0..n {
+        let w = b.tensor(format!("w{i}"), 4096, TensorKind::Weight);
+        let a = b.tensor(format!("a{i}"), act_bytes, TensorKind::Activation);
+        b.begin_layer(format!("l{i}/fwd"));
+        b.op(format!("f{i}"), OpKind::MatMul, 10_000).reads(&[prev, w]).writes(&[a]).push();
+        weights.push(w);
+        acts.push(a);
+        prev = a;
+    }
+    let mut grad = b.tensor("g_last", act_bytes, TensorKind::ActivationGrad);
+    b.begin_layer("loss/bwd");
+    b.op("dloss", OpKind::Loss, 100).reads(&[prev]).writes(&[grad]).push();
+    for i in (0..n).rev() {
+        b.begin_layer(format!("l{i}/bwd"));
+        let dw = b.tensor(format!("dw{i}"), 4096, TensorKind::WeightGrad);
+        let upstream = if i > 0 { acts[i - 1] } else { x };
+        b.op(format!("dfw{i}"), OpKind::MatMul, 10_000).reads(&[grad, acts[i]]).writes(&[dw]).push();
+        let g_next = b.tensor(format!("g{i}"), act_bytes, TensorKind::ActivationGrad);
+        b.op(format!("dfx{i}"), OpKind::MatMul, 10_000)
+            .reads(&[grad, weights[i], upstream])
+            .writes(&[g_next])
+            .push();
+        b.op(format!("upd{i}"), OpKind::WeightUpdate, 100).reads(&[dw]).writes(&[weights[i]]).push();
+        grad = g_next;
+    }
+    b.finish().unwrap()
+}
+
+/// Releases every activation right after its forward layer and restores it
+/// (recompute-style) when the backward pass asks — exercising the policy
+/// APIs Capuchin builds on.
+#[derive(Default)]
+struct DropAndRestore {
+    dropped: usize,
+    restored: usize,
+}
+
+impl MemoryManager for DropAndRestore {
+    fn name(&self) -> &str {
+        "drop-and-restore"
+    }
+    fn tier_for(&mut self, _t: &Tensor, _ctx: &ExecCtx<'_>) -> Tier {
+        Tier::Fast
+    }
+    fn after_layer(&mut self, layer: usize, ctx: &mut ExecCtx<'_>) {
+        // The activation of the *previous* forward layer was just consumed
+        // by this layer's op; its next use is in the backward pass, so it
+        // can be dropped and recomputed later.
+        if layer == 0 {
+            return;
+        }
+        let graph = ctx.graph();
+        if !graph.layers()[layer].name.ends_with("/fwd") {
+            return;
+        }
+        let name = format!("a{}", layer - 1);
+        let id = graph.tensors().iter().find(|t| t.name == name).map(|t| t.id);
+        if let Some(id) = id {
+            if ctx.is_live(id) {
+                ctx.release(id).unwrap();
+                self.dropped += 1;
+            }
+        }
+    }
+    fn before_access(&mut self, t: TensorId, _kind: AccessKind, ctx: &mut ExecCtx<'_>) {
+        if !ctx.is_live(t) && !ctx.tensor(t).preallocated() {
+            ctx.allocate_with(t, PoolSpec::default_packed(), Tier::Fast).unwrap();
+            ctx.charge_recompute(10_000);
+            self.restored += 1;
+        }
+    }
+}
+
+#[test]
+fn release_and_restore_flow_works() {
+    let g = chain(4, 16 << 10);
+    let mem = MemorySystem::new(HmConfig::testing().with_fast_capacity(1 << 22).with_slow_capacity(1 << 24));
+    let mut exec = Executor::new(&g, mem);
+    let mut p = DropAndRestore::default();
+    let r = exec.run(&mut p, 2).unwrap();
+    assert!(p.dropped >= 4, "dropped {} activations", p.dropped);
+    assert!(p.restored >= 4, "restored {} activations", p.restored);
+    assert!(r.steps[1].breakdown.recompute_ns > 0);
+}
+
+/// Evicts its private "victim list" under capacity pressure and records the
+/// retry behaviour of the executor's allocation loop.
+struct PressureValve {
+    pressure_calls: usize,
+}
+
+impl MemoryManager for PressureValve {
+    fn name(&self) -> &str {
+        "pressure-valve"
+    }
+    fn tier_for(&mut self, _t: &Tensor, _ctx: &ExecCtx<'_>) -> Tier {
+        Tier::Fast
+    }
+    fn on_capacity_pressure(&mut self, tier: Tier, _needed: u64, ctx: &mut ExecCtx<'_>) -> bool {
+        self.pressure_calls += 1;
+        if tier != Tier::Fast {
+            return false;
+        }
+        // Demote the largest fast-resident tensor synchronously.
+        let victim = ctx
+            .graph()
+            .tensors()
+            .iter()
+            .map(|t| t.id)
+            .filter(|&t| ctx.is_live(t) && ctx.tensor_bytes_in(t, Tier::Fast) > 0)
+            .max_by_key(|&t| ctx.tensor_bytes_in(t, Tier::Fast));
+        match victim {
+            Some(v) => match ctx.migrate_tensor_urgent(v, Tier::Slow) {
+                Ok(Some(ready)) => {
+                    ctx.stall_until(ready);
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+}
+
+#[test]
+fn capacity_pressure_hook_lets_allocations_succeed_in_fast() {
+    let g = chain(6, 64 << 10);
+    // Fast holds about three activations.
+    let mem = MemorySystem::new(
+        HmConfig::testing().with_fast_capacity(220 << 10).with_slow_capacity(1 << 24),
+    );
+    let mut exec = Executor::new(&g, mem);
+    let mut p = PressureValve { pressure_calls: 0 };
+    let r = exec.run(&mut p, 2).unwrap();
+    assert!(p.pressure_calls > 0, "pressure hook never fired");
+    assert!(r.steps[1].demoted_bytes > 0, "valve should demote victims");
+}
+
+/// Assigns pools by tensor kind and verifies pages never mix kinds.
+struct KindPools;
+
+impl MemoryManager for KindPools {
+    fn name(&self) -> &str {
+        "kind-pools"
+    }
+    fn pool_for(&mut self, tensor: &Tensor, _ctx: &ExecCtx<'_>) -> PoolSpec {
+        PoolSpec::packed(match tensor.kind {
+            TensorKind::Weight | TensorKind::Input | TensorKind::OptimizerState => 1,
+            TensorKind::Activation => 2,
+            _ => 3,
+        })
+    }
+    fn tier_for(&mut self, _t: &Tensor, _ctx: &ExecCtx<'_>) -> Tier {
+        Tier::Slow
+    }
+}
+
+#[test]
+fn pool_assignment_controls_page_sharing() {
+    let g = chain(3, 3000); // sub-page activations to force packing
+    let mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 24));
+    let mut exec = Executor::new(&g, mem);
+    let mut p = KindPools;
+    exec.train_begin(&mut p).unwrap();
+    // Weights and input are preallocated into pool 1: they may share pages
+    // with each other but never with activations (pool 2).
+    let weight_pages: Vec<_> = g
+        .tensors()
+        .iter()
+        .filter(|t| t.preallocated())
+        .filter_map(|t| exec.ctx().placement(t.id).map(|a| a.pages))
+        .collect();
+    exec.run_step(&mut p).unwrap();
+    // During execution activations were placed in a different pool; their
+    // pages are disjoint from every preallocated page.
+    for t in g.tensors().iter().filter(|t| t.kind == TensorKind::Activation) {
+        if let Some(a) = exec.ctx().placement(t.id) {
+            for wp in &weight_pages {
+                assert!(!a.pages.overlaps(wp), "activation {} shares a page with weights", t.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn executor_reports_are_additive() {
+    let g = chain(5, 32 << 10);
+    let mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 24));
+    let mut exec = Executor::new(&g, mem);
+    let mut p = SingleTier::slow();
+    let r = exec.run(&mut p, 3).unwrap();
+    for s in &r.steps {
+        let b = &s.breakdown;
+        // duration covers at least compute + memory + stall (alloc costs are free).
+        assert!(
+            s.duration_ns >= b.compute_ns + b.memory_ns + b.stall_ns,
+            "step {} duration {} < parts {}",
+            s.step,
+            s.duration_ns,
+            b.compute_ns + b.memory_ns + b.stall_ns
+        );
+        assert_eq!(s.duration_ns, b.compute_ns + b.memory_ns + b.stall_ns + b.recompute_ns);
+    }
+}
+
+#[test]
+fn graph_helpers_agree_with_execution() {
+    let g = chain(4, 16 << 10);
+    // Peak concurrent usage from the allocator must not exceed the
+    // layer-granular static peak.
+    let mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 24));
+    let mut exec = Executor::new(&g, mem);
+    let mut p = SingleTier::slow();
+    exec.run(&mut p, 1).unwrap();
+    let runtime_peak = exec.ctx().allocator().peak_live_bytes();
+    let static_peak = g.peak_live_bytes();
+    assert!(
+        runtime_peak <= static_peak + 4096 * g.num_tensors() as u64,
+        "runtime peak {runtime_peak} vs static {static_peak}"
+    );
+}

@@ -1,0 +1,84 @@
+//! Error type for the memory substrate.
+
+use crate::{PageRange, Tier};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`crate::MemorySystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Mapping or migrating into `tier` would exceed its capacity.
+    CapacityExceeded {
+        /// Destination tier that ran out of space.
+        tier: Tier,
+        /// Pages requested.
+        requested_pages: u64,
+        /// Pages still free in that tier.
+        free_pages: u64,
+    },
+    /// An operation referenced a page that is not mapped.
+    NotMapped {
+        /// The offending page number.
+        page: u64,
+    },
+    /// An attempt to map a page that is already mapped.
+    AlreadyMapped {
+        /// The offending page number.
+        page: u64,
+    },
+    /// An operation referenced a virtual page that was never reserved.
+    OutOfRange {
+        /// The offending range.
+        range: PageRange,
+        /// Number of reserved virtual pages.
+        reserved: u64,
+    },
+    /// A migration was requested for a page already being migrated.
+    MigrationInFlight {
+        /// The offending page number.
+        page: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::CapacityExceeded { tier, requested_pages, free_pages } => write!(
+                f,
+                "capacity exceeded in {tier} memory: requested {requested_pages} pages, {free_pages} free"
+            ),
+            MemError::NotMapped { page } => write!(f, "page {page} is not mapped"),
+            MemError::AlreadyMapped { page } => write!(f, "page {page} is already mapped"),
+            MemError::OutOfRange { range, reserved } => {
+                write!(f, "range {range} exceeds reserved virtual space of {reserved} pages")
+            }
+            MemError::MigrationInFlight { page } => {
+                write!(f, "page {page} already has a migration in flight")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MemError::CapacityExceeded { tier: Tier::Fast, requested_pages: 10, free_pages: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("fast"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

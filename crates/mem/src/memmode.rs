@@ -1,0 +1,238 @@
+//! Optane "Memory Mode": DRAM as a hardware-managed cache in front of PMM.
+//!
+//! One of the paper's CPU baselines. In Memory Mode all application pages
+//! live in PMM (slow) and the DRAM (fast) acts as a direct-mapped,
+//! page-granular, write-back cache managed entirely by hardware — no OS or
+//! runtime placement control, which is exactly why it loses to Sentinel on
+//! large models: cold pages evict hot ones through conflict and capacity
+//! misses, and every miss pays PMM latency plus fill traffic.
+
+use crate::{HmConfig, Ns, Tier};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`MemoryModeCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModeSpec {
+    /// DRAM cache capacity in pages (the usable fast-tier size).
+    pub capacity_pages: u64,
+    /// Ways per set. Real Memory Mode is direct-mapped on *physical*
+    /// addresses; simulating on virtual page numbers makes direct mapping
+    /// pathologically conflicty, so a small associativity stands in for the
+    /// physical-address scrambling.
+    pub ways: u64,
+    /// Extra latency of the in-DRAM tag check on every access.
+    pub tag_check_ns: Ns,
+}
+
+impl MemoryModeSpec {
+    /// Build from an [`HmConfig`], using the whole fast tier as cache.
+    #[must_use]
+    pub fn from_config(cfg: &HmConfig) -> Self {
+        MemoryModeSpec { capacity_pages: cfg.fast_pages().max(1), ways: 8, tag_check_ns: 10 }
+    }
+
+    /// Build with an explicit cache size in pages.
+    #[must_use]
+    pub fn with_capacity_pages(pages: u64) -> Self {
+        MemoryModeSpec { capacity_pages: pages.max(1), ways: 1, tag_check_ns: 10 }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        (self.capacity_pages / self.ways.max(1)).max(1)
+    }
+}
+
+/// Counters for the Memory-Mode cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModeStats {
+    /// DRAM cache hits.
+    pub hits: u64,
+    /// DRAM cache misses (each pays a PMM access + fill).
+    pub misses: u64,
+    /// Dirty victim write-backs to PMM.
+    pub writebacks: u64,
+}
+
+impl MemoryModeStats {
+    /// Hit ratio in `[0, 1]`; zero when no accesses were made.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Result of one Memory-Mode access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MemoryModeAccess {
+    /// Time charged for the access.
+    pub elapsed_ns: Ns,
+    /// Tier that serviced the payload bytes.
+    pub serviced_by: Tier,
+    /// Bytes of PMM fill traffic generated (page fill + write-back).
+    pub slow_traffic_bytes: u64,
+}
+
+/// A set-associative page-granular DRAM cache over PMM.
+#[derive(Debug, Clone)]
+pub struct MemoryModeCache {
+    spec: MemoryModeSpec,
+    slots: Vec<Slot>,
+    stats: MemoryModeStats,
+    tick: u64,
+}
+
+impl MemoryModeCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new(spec: MemoryModeSpec) -> Self {
+        MemoryModeCache {
+            spec,
+            slots: vec![Slot::default(); (spec.sets() * spec.ways.max(1)) as usize],
+            stats: MemoryModeStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn spec(&self) -> &MemoryModeSpec {
+        &self.spec
+    }
+
+    /// Running counters.
+    #[must_use]
+    pub fn stats(&self) -> &MemoryModeStats {
+        &self.stats
+    }
+
+    /// Access one page carrying `bytes` of payload; `write` marks it dirty.
+    ///
+    /// Timing model: tag check always; on hit, DRAM service; on a read miss,
+    /// PMM fill of the whole page plus DRAM service; on a write miss the
+    /// line is installed without a fill (write-allocate-no-fetch — tensor
+    /// writes overwrite whole pages); dirty victims are written back to PMM.
+    pub(crate) fn access(&mut self, page: u64, bytes: u64, write: bool, cfg: &HmConfig) -> MemoryModeAccess {
+        self.tick += 1;
+        let ways = self.spec.ways.max(1) as usize;
+        let set = (page % self.spec.sets()) as usize;
+        let base = set * ways;
+        let slots = &mut self.slots[base..base + ways];
+        let mut elapsed = self.spec.tag_check_ns;
+        let mut slow_traffic = 0u64;
+
+        if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.tag == page) {
+            self.stats.hits += 1;
+            slot.stamp = self.tick;
+            elapsed += cfg.fast.access_time_ns(bytes, write);
+            if write {
+                slot.dirty = true;
+            }
+            return MemoryModeAccess { elapsed_ns: elapsed, serviced_by: Tier::Fast, slow_traffic_bytes: bytes };
+        }
+
+        // Miss: pick LRU victim, write back if dirty, fill (reads only), serve.
+        self.stats.misses += 1;
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.stamp } else { 0 })
+            .expect("sets are non-empty");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            elapsed += cfg.slow.access_time_ns(cfg.page_size, true);
+            slow_traffic += cfg.page_size;
+        }
+        if write {
+            elapsed += cfg.fast.access_time_ns(bytes, true);
+        } else {
+            elapsed += cfg.slow.access_time_ns(cfg.page_size, false); // fill
+            slow_traffic += cfg.page_size;
+            elapsed += cfg.fast.access_time_ns(bytes, false);
+        }
+        *victim = Slot { tag: page, valid: true, dirty: write, stamp: self.tick };
+        MemoryModeAccess {
+            elapsed_ns: elapsed,
+            serviced_by: if write { Tier::Fast } else { Tier::Slow },
+            slow_traffic_bytes: slow_traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HmConfig {
+        HmConfig::testing()
+    }
+
+    fn cache(pages: u64) -> MemoryModeCache {
+        MemoryModeCache::new(MemoryModeSpec::with_capacity_pages(pages))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let c = cfg();
+        let mut m = cache(4);
+        let a = m.access(0, 100, false, &c);
+        assert_eq!(a.serviced_by, Tier::Slow);
+        let b = m.access(0, 100, false, &c);
+        assert_eq!(b.serviced_by, Tier::Fast);
+        assert!(b.elapsed_ns < a.elapsed_ns);
+        assert_eq!(m.stats().hits, 1);
+        assert_eq!(m.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflicting_pages_thrash() {
+        let c = cfg();
+        let mut m = cache(4);
+        // Pages 0 and 4 map to the same slot in a 4-page direct-mapped cache.
+        m.access(0, 100, false, &c);
+        m.access(4, 100, false, &c);
+        let again = m.access(0, 100, false, &c);
+        assert_eq!(again.serviced_by, Tier::Slow);
+        assert_eq!(m.stats().misses, 3);
+    }
+
+    #[test]
+    fn dirty_victims_write_back() {
+        let c = cfg();
+        let mut m = cache(4);
+        m.access(0, 100, true, &c); // dirty
+        let evicting = m.access(4, 100, false, &c);
+        assert_eq!(m.stats().writebacks, 1);
+        // Fill + write-back traffic: two pages.
+        assert_eq!(evicting.slow_traffic_bytes, 2 * c.page_size);
+    }
+
+    #[test]
+    fn hit_ratio_reflects_counts() {
+        let mut s = MemoryModeStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_from_config_uses_fast_tier() {
+        let c = cfg();
+        let spec = MemoryModeSpec::from_config(&c);
+        assert_eq!(spec.capacity_pages, c.fast_pages());
+    }
+}

@@ -1,0 +1,298 @@
+//! The dual-channel page migration engine.
+//!
+//! The paper's runtime uses two helper threads for migration — "one for data
+//! migration from fast to slow memory, and one for migration in the opposite
+//! way. The two migration threads work in parallel to accelerate migration"
+//! (Section VI). The engine models each direction as an independent channel
+//! with its own bandwidth: a batch issued at time `t` starts when the channel
+//! is free, takes `setup + bytes/bw`, and completes at `ready_at`. Batches
+//! on the same channel serialize; batches on opposite channels overlap.
+
+use crate::{Ns, PageRange, Tier};
+
+/// Migration direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Slow → fast ("prefetch" in the paper's tensor-migration scheme).
+    Promote,
+    /// Fast → slow (eviction to save fast-memory space).
+    Demote,
+}
+
+impl Direction {
+    /// Direction that lands pages in `dest`.
+    #[must_use]
+    pub fn into_tier(dest: Tier) -> Direction {
+        match dest {
+            Tier::Fast => Direction::Promote,
+            Tier::Slow => Direction::Demote,
+        }
+    }
+
+    /// The tier this direction moves pages *to*.
+    #[must_use]
+    pub fn dest(self) -> Tier {
+        match self {
+            Direction::Promote => Tier::Fast,
+            Direction::Demote => Tier::Slow,
+        }
+    }
+
+    /// The tier this direction moves pages *from*.
+    #[must_use]
+    pub fn source(self) -> Tier {
+        self.dest().other()
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Direction::Promote => 0,
+            Direction::Demote => 1,
+        }
+    }
+}
+
+/// Receipt for an issued migration batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationTicket {
+    /// Engine-unique identifier of the batch.
+    pub id: u64,
+    /// Simulated time at which the batch completes.
+    pub ready_at: Ns,
+    /// Pages in the batch.
+    pub pages: u64,
+    /// Bytes in the batch.
+    pub bytes: u64,
+}
+
+/// A batch currently being copied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// Identifier matching the issued [`MigrationTicket`].
+    pub id: u64,
+    /// Pages being moved.
+    pub range: PageRange,
+    /// Direction of the move.
+    pub direction: Direction,
+    /// Completion time.
+    pub ready_at: Ns,
+}
+
+/// Two independent directional migration channels with bandwidth accounting.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    /// Bandwidth per direction in bytes/ns, indexed by [`Direction::index`].
+    bw: [f64; 2],
+    setup_ns: Ns,
+    page_size: u64,
+    busy_until: [Ns; 2],
+    /// Separate lane for demand faults: urgent copies preempt queued
+    /// prefetch batches (GPU fault-handling DMA takes priority over
+    /// `cudaMemPrefetchAsync` streams).
+    urgent_busy_until: [Ns; 2],
+    in_flight: Vec<InFlight>,
+    next_id: u64,
+    /// Total bytes moved per direction since construction.
+    moved_bytes: [u64; 2],
+    /// Total batches issued per direction.
+    batches: [u64; 2],
+}
+
+impl MigrationEngine {
+    /// Build an engine with the given per-direction bandwidths.
+    #[must_use]
+    pub fn new(promote_bw: f64, demote_bw: f64, setup_ns: Ns, page_size: u64) -> Self {
+        MigrationEngine {
+            bw: [promote_bw, demote_bw],
+            setup_ns,
+            page_size,
+            busy_until: [0, 0],
+            urgent_busy_until: [0, 0],
+            in_flight: Vec::new(),
+            next_id: 0,
+            moved_bytes: [0, 0],
+            batches: [0, 0],
+        }
+    }
+
+    /// Issue a migration batch; returns a ticket with its completion time.
+    pub fn enqueue(&mut self, range: PageRange, direction: Direction, now: Ns) -> MigrationTicket {
+        self.enqueue_with_priority(range, direction, now, false)
+    }
+
+    /// Issue an *urgent* batch (demand fault): it does not queue behind
+    /// pending prefetch batches, only behind other urgent copies.
+    pub fn enqueue_urgent(&mut self, range: PageRange, direction: Direction, now: Ns) -> MigrationTicket {
+        self.enqueue_with_priority(range, direction, now, true)
+    }
+
+    fn enqueue_with_priority(&mut self, range: PageRange, direction: Direction, now: Ns, urgent: bool) -> MigrationTicket {
+        let bytes = range.bytes(self.page_size);
+        let dir = direction.index();
+        let lane = if urgent { &mut self.urgent_busy_until[dir] } else { &mut self.busy_until[dir] };
+        let start = now.max(*lane);
+        let duration = self.setup_ns + (bytes as f64 / self.bw[dir]).ceil() as Ns;
+        let ready_at = start + duration;
+        *lane = ready_at;
+        self.moved_bytes[dir] += bytes;
+        self.batches[dir] += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.in_flight.push(InFlight { id, range, direction, ready_at });
+        MigrationTicket { id, ready_at, pages: range.count, bytes }
+    }
+
+    /// Remove and return every batch completed by `now`.
+    pub fn drain_completed(&mut self, now: Ns) -> Vec<InFlight> {
+        let (done, pending): (Vec<_>, Vec<_>) =
+            self.in_flight.drain(..).partition(|f| f.ready_at <= now);
+        self.in_flight = pending;
+        done
+    }
+
+    /// Cancel and return every batch *not yet complete* at `now`.
+    ///
+    /// Used by Sentinel's Case-3 "leave tensors in slow memory" choice: the
+    /// copies are abandoned and the pages stay in their source tier. Channel
+    /// reservations are rolled back to `now`.
+    pub fn cancel_pending(&mut self, now: Ns) -> Vec<InFlight> {
+        let (pending, done): (Vec<_>, Vec<_>) =
+            self.in_flight.drain(..).partition(|f| f.ready_at > now);
+        self.in_flight = done;
+        for dir in [Direction::Promote, Direction::Demote] {
+            self.busy_until[dir.index()] = self.busy_until[dir.index()].min(now);
+            self.urgent_busy_until[dir.index()] = self.urgent_busy_until[dir.index()].min(now);
+        }
+        pending
+    }
+
+    /// Time when all currently queued work in either direction is finished.
+    #[must_use]
+    pub fn quiescent_at(&self) -> Ns {
+        self.busy_until[0]
+            .max(self.busy_until[1])
+            .max(self.urgent_busy_until[0])
+            .max(self.urgent_busy_until[1])
+    }
+
+    /// Time when queued work in `direction` is finished.
+    #[must_use]
+    pub fn busy_until(&self, direction: Direction) -> Ns {
+        self.busy_until[direction.index()]
+    }
+
+    /// Whether any batch is still in flight.
+    #[must_use]
+    pub fn has_in_flight(&self) -> bool {
+        !self.in_flight.is_empty()
+    }
+
+    /// In-flight batches (completed ones remain until drained).
+    #[must_use]
+    pub fn in_flight(&self) -> &[InFlight] {
+        &self.in_flight
+    }
+
+    /// Latest completion time of any batch overlapping `range`, if one exists.
+    #[must_use]
+    pub fn range_ready_at(&self, range: PageRange) -> Option<Ns> {
+        self.in_flight.iter().filter(|f| f.range.overlaps(&range)).map(|f| f.ready_at).max()
+    }
+
+    /// Total bytes moved in `direction` since construction.
+    #[must_use]
+    pub fn moved_bytes(&self, direction: Direction) -> u64 {
+        self.moved_bytes[direction.index()]
+    }
+
+    /// Total batches issued in `direction`.
+    #[must_use]
+    pub fn batches(&self, direction: Direction) -> u64 {
+        self.batches[direction.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MigrationEngine {
+        // 1 byte/ns each way, 100 ns setup, 4 KiB pages.
+        MigrationEngine::new(1.0, 1.0, 100, 4096)
+    }
+
+    #[test]
+    fn single_batch_timing() {
+        let mut e = engine();
+        let t = e.enqueue(PageRange::new(0, 2), Direction::Promote, 1_000);
+        assert_eq!(t.bytes, 8192);
+        assert_eq!(t.ready_at, 1_000 + 100 + 8192);
+    }
+
+    #[test]
+    fn same_direction_serializes() {
+        let mut e = engine();
+        let a = e.enqueue(PageRange::new(0, 1), Direction::Promote, 0);
+        let b = e.enqueue(PageRange::new(1, 1), Direction::Promote, 0);
+        assert_eq!(b.ready_at, a.ready_at + 100 + 4096);
+    }
+
+    #[test]
+    fn opposite_directions_overlap() {
+        let mut e = engine();
+        let a = e.enqueue(PageRange::new(0, 1), Direction::Promote, 0);
+        let b = e.enqueue(PageRange::new(1, 1), Direction::Demote, 0);
+        assert_eq!(a.ready_at, b.ready_at);
+    }
+
+    #[test]
+    fn drain_returns_only_completed() {
+        let mut e = engine();
+        let a = e.enqueue(PageRange::new(0, 1), Direction::Promote, 0);
+        let _b = e.enqueue(PageRange::new(1, 1), Direction::Promote, 0);
+        let done = e.drain_completed(a.ready_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].range, PageRange::new(0, 1));
+        assert!(e.has_in_flight());
+    }
+
+    #[test]
+    fn cancel_drops_pending_and_rolls_back_channel() {
+        let mut e = engine();
+        let a = e.enqueue(PageRange::new(0, 1), Direction::Promote, 0);
+        let _b = e.enqueue(PageRange::new(1, 4), Direction::Promote, 0);
+        let cancelled = e.cancel_pending(a.ready_at);
+        assert_eq!(cancelled.len(), 1);
+        assert_eq!(cancelled[0].range, PageRange::new(1, 4));
+        assert_eq!(e.busy_until(Direction::Promote), a.ready_at);
+        // The completed batch is still drainable.
+        assert_eq!(e.drain_completed(a.ready_at).len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        e.enqueue(PageRange::new(0, 2), Direction::Promote, 0);
+        e.enqueue(PageRange::new(2, 3), Direction::Demote, 0);
+        assert_eq!(e.moved_bytes(Direction::Promote), 8192);
+        assert_eq!(e.moved_bytes(Direction::Demote), 3 * 4096);
+        assert_eq!(e.batches(Direction::Promote), 1);
+        assert_eq!(e.batches(Direction::Demote), 1);
+    }
+
+    #[test]
+    fn quiescent_tracks_latest_channel() {
+        let mut e = engine();
+        let a = e.enqueue(PageRange::new(0, 10), Direction::Promote, 0);
+        let b = e.enqueue(PageRange::new(10, 1), Direction::Demote, 0);
+        assert_eq!(e.quiescent_at(), a.ready_at.max(b.ready_at));
+    }
+
+    #[test]
+    fn direction_tier_mapping() {
+        assert_eq!(Direction::into_tier(Tier::Fast), Direction::Promote);
+        assert_eq!(Direction::into_tier(Tier::Slow), Direction::Demote);
+        assert_eq!(Direction::Promote.dest(), Tier::Fast);
+        assert_eq!(Direction::Promote.source(), Tier::Slow);
+    }
+}

@@ -1,0 +1,161 @@
+//! Virtual pages and page ranges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default page size, matching the 4 KiB base pages the paper profiles at.
+pub const PAGE_SIZE_DEFAULT: u64 = 4096;
+
+/// Number of pages needed to hold `bytes` with pages of `page_size` bytes.
+///
+/// ```
+/// use sentinel_mem::pages_for_bytes;
+/// assert_eq!(pages_for_bytes(0, 4096), 0);
+/// assert_eq!(pages_for_bytes(1, 4096), 1);
+/// assert_eq!(pages_for_bytes(4096, 4096), 1);
+/// assert_eq!(pages_for_bytes(4097, 4096), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `page_size` is zero.
+#[must_use]
+pub fn pages_for_bytes(bytes: u64, page_size: u64) -> u64 {
+    assert!(page_size > 0, "page size must be positive");
+    bytes.div_ceil(page_size)
+}
+
+/// A contiguous range of virtual pages: `[first, first + count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PageRange {
+    /// First virtual page number in the range.
+    pub first: u64,
+    /// Number of pages in the range.
+    pub count: u64,
+}
+
+impl PageRange {
+    /// A range starting at `first` spanning `count` pages.
+    #[must_use]
+    pub fn new(first: u64, count: u64) -> Self {
+        PageRange { first, count }
+    }
+
+    /// The empty range.
+    #[must_use]
+    pub fn empty() -> Self {
+        PageRange { first: 0, count: 0 }
+    }
+
+    /// Whether the range contains no pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// One-past-the-last page number.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.first + self.count
+    }
+
+    /// Whether `page` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, page: u64) -> bool {
+        page >= self.first && page < self.end()
+    }
+
+    /// Whether the two ranges share at least one page.
+    #[must_use]
+    pub fn overlaps(&self, other: &PageRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.first < other.end() && other.first < self.end()
+    }
+
+    /// The intersection of two ranges, or `None` if disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &PageRange) -> Option<PageRange> {
+        let first = self.first.max(other.first);
+        let end = self.end().min(other.end());
+        if first < end {
+            Some(PageRange::new(first, end - first))
+        } else {
+            None
+        }
+    }
+
+    /// Total bytes covered with pages of `page_size` bytes.
+    #[must_use]
+    pub fn bytes(&self, page_size: u64) -> u64 {
+        self.count * page_size
+    }
+
+    /// Iterator over the page numbers in the range.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.first..self.end()
+    }
+}
+
+impl fmt::Display for PageRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.first, self.end())
+    }
+}
+
+impl IntoIterator for PageRange {
+    type Item = u64;
+    type IntoIter = std::ops::Range<u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.first..self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let r = PageRange::new(4, 3);
+        assert_eq!(r.end(), 7);
+        assert!(r.contains(4));
+        assert!(r.contains(6));
+        assert!(!r.contains(7));
+        assert_eq!(r.bytes(4096), 12288);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_range_behaviour() {
+        let e = PageRange::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(0));
+        assert!(!e.overlaps(&PageRange::new(0, 10)));
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = PageRange::new(0, 5);
+        let b = PageRange::new(3, 5);
+        let c = PageRange::new(5, 2);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection(&b), Some(PageRange::new(3, 2)));
+        assert_eq!(a.intersection(&c), None);
+        assert_eq!(b.intersection(&c), Some(PageRange::new(5, 2)));
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        assert_eq!(pages_for_bytes(8192, 4096), 2);
+        assert_eq!(pages_for_bytes(8193, 4096), 3);
+        assert_eq!(pages_for_bytes(100, 64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_panics() {
+        let _ = pages_for_bytes(1, 0);
+    }
+}

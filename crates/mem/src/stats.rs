@@ -1,0 +1,172 @@
+//! Traffic and bandwidth statistics.
+//!
+//! Figure 9 of the paper plots fast- and slow-memory bandwidth over the
+//! course of training; [`StatsTimeline`] buckets bytes moved per tier into
+//! fixed time windows so the same plot can be regenerated.
+
+use crate::{Ns, Tier};
+use serde::{Deserialize, Serialize};
+
+/// One bandwidth sample: bytes moved per tier within one time bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandwidthSample {
+    /// Bucket start time.
+    pub start_ns: Ns,
+    /// Bytes read + written in fast memory during the bucket.
+    pub fast_bytes: u64,
+    /// Bytes read + written in slow memory during the bucket.
+    pub slow_bytes: u64,
+}
+
+impl BandwidthSample {
+    /// Fast-memory bandwidth over the bucket, in bytes/ns (== GB/s).
+    #[must_use]
+    pub fn fast_bw(&self, bucket_ns: Ns) -> f64 {
+        self.fast_bytes as f64 / bucket_ns.max(1) as f64
+    }
+
+    /// Slow-memory bandwidth over the bucket, in bytes/ns (== GB/s).
+    #[must_use]
+    pub fn slow_bw(&self, bucket_ns: Ns) -> f64 {
+        self.slow_bytes as f64 / bucket_ns.max(1) as f64
+    }
+}
+
+/// Bytes-per-tier bucketed over simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsTimeline {
+    bucket_ns: Ns,
+    buckets: Vec<BandwidthSample>,
+}
+
+impl StatsTimeline {
+    /// A timeline with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ns` is zero.
+    #[must_use]
+    pub fn new(bucket_ns: Ns) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        StatsTimeline { bucket_ns, buckets: Vec::new() }
+    }
+
+    /// Record `bytes` of traffic against `tier` at time `now`.
+    pub fn record(&mut self, tier: Tier, bytes: u64, now: Ns) {
+        let idx = (now / self.bucket_ns) as usize;
+        if idx >= self.buckets.len() {
+            let old = self.buckets.len();
+            self.buckets.resize(idx + 1, BandwidthSample::default());
+            for (i, b) in self.buckets.iter_mut().enumerate().skip(old) {
+                b.start_ns = i as Ns * self.bucket_ns;
+            }
+        }
+        match tier {
+            Tier::Fast => self.buckets[idx].fast_bytes += bytes,
+            Tier::Slow => self.buckets[idx].slow_bytes += bytes,
+        }
+    }
+
+    /// Bucket width.
+    #[must_use]
+    pub fn bucket_ns(&self) -> Ns {
+        self.bucket_ns
+    }
+
+    /// All samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[BandwidthSample] {
+        &self.buckets
+    }
+}
+
+/// Aggregate memory-system counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Bytes read from each tier (index via [`Tier::index`]).
+    pub bytes_read: [u64; 2],
+    /// Bytes written to each tier.
+    pub bytes_written: [u64; 2],
+    /// Main-memory accesses per tier (post cache filter).
+    pub mm_accesses: [u64; 2],
+    /// Accesses absorbed by the cache filter.
+    pub cache_hits: u64,
+    /// Simulated protection faults taken for profiling.
+    pub profiling_faults: u64,
+    /// Bytes migrated slow→fast.
+    pub promoted_bytes: u64,
+    /// Bytes migrated fast→slow.
+    pub demoted_bytes: u64,
+    /// Peak mapped pages per tier.
+    pub peak_mapped_pages: [u64; 2],
+}
+
+impl MemStats {
+    /// Total bytes that touched a given tier (reads + writes + migration traffic
+    /// attributed at issue time).
+    #[must_use]
+    pub fn tier_bytes(&self, tier: Tier) -> u64 {
+        self.bytes_read[tier.index()] + self.bytes_written[tier.index()]
+    }
+
+    /// Record the current mapped-page counts into the running peak.
+    pub fn observe_mapped(&mut self, mapped: [u64; 2]) {
+        for i in 0..2 {
+            self.peak_mapped_pages[i] = self.peak_mapped_pages[i].max(mapped[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_buckets_by_time() {
+        let mut t = StatsTimeline::new(100);
+        t.record(Tier::Fast, 10, 0);
+        t.record(Tier::Fast, 5, 99);
+        t.record(Tier::Slow, 7, 100);
+        t.record(Tier::Fast, 1, 250);
+        let s = t.samples();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].fast_bytes, 15);
+        assert_eq!(s[0].slow_bytes, 0);
+        assert_eq!(s[1].slow_bytes, 7);
+        assert_eq!(s[2].fast_bytes, 1);
+        assert_eq!(s[1].start_ns, 100);
+        assert_eq!(s[2].start_ns, 200);
+    }
+
+    #[test]
+    fn bandwidth_is_bytes_over_bucket() {
+        let mut t = StatsTimeline::new(10);
+        t.record(Tier::Fast, 100, 0);
+        let s = t.samples()[0];
+        assert!((s.fast_bw(10) - 10.0).abs() < 1e-9);
+        assert_eq!(s.slow_bw(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_panics() {
+        let _ = StatsTimeline::new(0);
+    }
+
+    #[test]
+    fn peak_mapped_tracks_maximum() {
+        let mut s = MemStats::default();
+        s.observe_mapped([3, 10]);
+        s.observe_mapped([5, 2]);
+        assert_eq!(s.peak_mapped_pages, [5, 10]);
+    }
+
+    #[test]
+    fn tier_bytes_sums_reads_and_writes() {
+        let mut s = MemStats::default();
+        s.bytes_read[Tier::Fast.index()] = 10;
+        s.bytes_written[Tier::Fast.index()] = 4;
+        assert_eq!(s.tier_bytes(Tier::Fast), 14);
+        assert_eq!(s.tier_bytes(Tier::Slow), 0);
+    }
+}

@@ -1,0 +1,814 @@
+//! The two-tier memory system: mapping, timed accesses, migration, profiling.
+
+use crate::cache::{CacheFilter, CacheOutcome};
+use crate::config::HmConfig;
+use crate::memmode::{MemoryModeCache, MemoryModeSpec};
+use crate::migrate::{Direction, InFlight, MigrationEngine, MigrationTicket};
+use crate::profiler::{PageAccessMap, PageAccessProfiler};
+use crate::stats::{MemStats, StatsTimeline};
+use crate::table::{PageState, PageTable};
+use crate::{MemError, Ns, PageRange, Tier};
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Timing and accounting outcome of one [`MemorySystem::access`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessReport {
+    /// Simulated time the access took.
+    pub elapsed_ns: Ns,
+    /// Main-memory accesses performed (pages that missed the cache filter).
+    pub mm_accesses: u64,
+    /// Pages absorbed by the cache filter.
+    pub cache_hits: u64,
+    /// Profiling protection faults taken.
+    pub faults: u64,
+    /// Payload bytes serviced by fast memory.
+    pub bytes_fast: u64,
+    /// Payload bytes serviced by slow memory.
+    pub bytes_slow: u64,
+}
+
+/// A simulated two-tier heterogeneous memory.
+///
+/// See the crate-level documentation for an overview and example. All
+/// methods take the current simulated time `now` ([`Ns`]) and never consult
+/// wall-clock time.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: HmConfig,
+    table: PageTable,
+    /// Mapped pages per tier (including in-flight destination reservations).
+    used_pages: [u64; 2],
+    engine: MigrationEngine,
+    cache: Option<CacheFilter>,
+    memmode: Option<MemoryModeCache>,
+    profiler: Option<PageAccessProfiler>,
+    stats: MemStats,
+    timeline: Option<StatsTimeline>,
+    unmapped_accesses: u64,
+}
+
+impl MemorySystem {
+    /// Build a memory system for the given platform configuration.
+    #[must_use]
+    pub fn new(cfg: HmConfig) -> Self {
+        let engine = MigrationEngine::new(
+            cfg.promote_bw_bytes_per_ns,
+            cfg.demote_bw_bytes_per_ns,
+            cfg.migration_setup_ns,
+            cfg.page_size,
+        );
+        let cache = cfg.cache.map(CacheFilter::new);
+        MemorySystem {
+            cfg,
+            table: PageTable::new(),
+            used_pages: [0, 0],
+            engine,
+            cache,
+            memmode: None,
+            profiler: None,
+            stats: MemStats::default(),
+            timeline: None,
+            unmapped_accesses: 0,
+        }
+    }
+
+    /// The platform configuration.
+    #[must_use]
+    pub fn config(&self) -> &HmConfig {
+        &self.cfg
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> u64 {
+        self.cfg.page_size
+    }
+
+    // ---------------------------------------------------------------- layout
+
+    /// Reserve `count` fresh virtual pages (no physical backing yet).
+    pub fn reserve(&mut self, count: u64) -> PageRange {
+        self.table.reserve(count)
+    }
+
+    /// Map a reserved range into `tier`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range was not reserved,
+    /// [`MemError::AlreadyMapped`] if any page is mapped, or
+    /// [`MemError::CapacityExceeded`] if the tier lacks space.
+    pub fn map(&mut self, range: PageRange, tier: Tier, _now: Ns) -> Result<(), MemError> {
+        self.table.check_range(range)?;
+        for p in range.iter() {
+            if self.table.tier_of(p).is_some() {
+                return Err(MemError::AlreadyMapped { page: p });
+            }
+        }
+        let free = self.free_pages(tier);
+        if range.count > free {
+            return Err(MemError::CapacityExceeded { tier, requested_pages: range.count, free_pages: free });
+        }
+        for p in range.iter() {
+            let pte = self.table.get_mut(p).expect("range checked");
+            pte.state = PageState::Mapped(tier);
+            if self.profiler.is_some() {
+                pte.poisoned = true;
+            }
+        }
+        self.used_pages[tier.index()] += range.count;
+        self.stats.observe_mapped(self.used_pages);
+        Ok(())
+    }
+
+    /// Unmap a mapped range, releasing its frames.
+    ///
+    /// Pending migrations overlapping the range are aborted first (the pages
+    /// simply cease to exist, as when a tensor is freed mid-copy).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range was not reserved or
+    /// [`MemError::NotMapped`] if any page is not mapped.
+    pub fn unmap(&mut self, range: PageRange, now: Ns) -> Result<(), MemError> {
+        self.table.check_range(range)?;
+        // Abort overlapping in-flight batches before releasing frames.
+        if range.iter().any(|p| self.table.get(p).map(|e| e.in_flight).unwrap_or(false)) {
+            self.abort_migrations_overlapping(range, now);
+        }
+        for p in range.iter() {
+            if self.table.tier_of(p).is_none() {
+                return Err(MemError::NotMapped { page: p });
+            }
+        }
+        for p in range.iter() {
+            let tier = self.table.tier_of(p).expect("checked above");
+            let pte = self.table.get_mut(p).expect("range checked");
+            pte.state = PageState::Unmapped;
+            pte.poisoned = false;
+            self.used_pages[tier.index()] -= 1;
+            if let Some(cache) = &mut self.cache {
+                cache.invalidate(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// The tier `page` is currently mapped in, if any.
+    #[must_use]
+    pub fn tier_of(&self, page: u64) -> Option<Tier> {
+        self.table.tier_of(page)
+    }
+
+    /// Mapped pages in `tier` (counting in-flight destination reservations).
+    #[must_use]
+    pub fn used_pages(&self, tier: Tier) -> u64 {
+        self.used_pages[tier.index()]
+    }
+
+    /// Free pages in `tier`.
+    #[must_use]
+    pub fn free_pages(&self, tier: Tier) -> u64 {
+        self.cfg.tier(tier).capacity_pages(self.cfg.page_size).saturating_sub(self.used_pages[tier.index()])
+    }
+
+    /// Free bytes in `tier`.
+    #[must_use]
+    pub fn free_bytes(&self, tier: Tier) -> u64 {
+        self.free_pages(tier) * self.cfg.page_size
+    }
+
+    /// The contiguous sub-ranges of `range` currently mapped in `tier` and
+    /// not in flight. Useful for building strict migration batches.
+    #[must_use]
+    pub fn subranges_in_tier(&self, range: PageRange, tier: Tier) -> Vec<PageRange> {
+        let mut out = Vec::new();
+        let mut start: Option<u64> = None;
+        for p in range.iter() {
+            let eligible = self.table.tier_of(p) == Some(tier)
+                && !self.table.get(p).map(|e| e.in_flight).unwrap_or(true);
+            match (eligible, start) {
+                (true, None) => start = Some(p),
+                (false, Some(s)) => {
+                    out.push(PageRange::new(s, p - s));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push(PageRange::new(s, range.end() - s));
+        }
+        out
+    }
+
+    // --------------------------------------------------------------- access
+
+    /// Perform a timed access of `bytes` spread evenly over `range`.
+    ///
+    /// The payload passes the cache filter page by page; misses reach main
+    /// memory where they are counted, possibly fault for profiling, and pay
+    /// the owning tier's latency/bandwidth. Pages mid-migration are serviced
+    /// from their source tier. Unmapped pages are serviced at slow-tier speed
+    /// and tallied in [`MemorySystem::unmapped_accesses`].
+    pub fn access(&mut self, range: PageRange, bytes: u64, kind: AccessKind, now: Ns) -> AccessReport {
+        let mut report = AccessReport::default();
+        if range.is_empty() || bytes == 0 {
+            return report;
+        }
+        let per_page = (bytes / range.count).max(1);
+        let write = kind.is_write();
+
+        let mut cache_bytes = 0u64;
+        let mut tier_bytes = [0u64; 2];
+        let mut tier_touched = [false; 2];
+
+        for p in range.iter() {
+            // Processor cache filter first: hits never reach main memory.
+            if let Some(cache) = &mut self.cache {
+                if cache.probe(p) == CacheOutcome::Hit {
+                    report.cache_hits += 1;
+                    cache_bytes += per_page;
+                    continue;
+                }
+            }
+            report.mm_accesses += 1;
+
+            // Memory Mode routes misses through the DRAM page cache.
+            if self.memmode.is_some() {
+                self.count_profiling_fault(p, &mut report);
+                let mm = self
+                    .memmode
+                    .as_mut()
+                    .expect("checked is_some")
+                    .access(p, per_page, write, &self.cfg);
+                report.elapsed_ns += mm.elapsed_ns;
+                match mm.serviced_by {
+                    Tier::Fast => report.bytes_fast += per_page,
+                    Tier::Slow => report.bytes_slow += per_page,
+                }
+                self.stats.mm_accesses[mm.serviced_by.index()] += 1;
+                self.record_traffic(mm.serviced_by, per_page, write, now);
+                if mm.slow_traffic_bytes > per_page {
+                    self.record_traffic(Tier::Slow, mm.slow_traffic_bytes - per_page, false, now);
+                }
+                continue;
+            }
+
+            let tier = match self.table.tier_of(p) {
+                Some(t) => t,
+                None => {
+                    self.unmapped_accesses += 1;
+                    Tier::Slow
+                }
+            };
+            self.count_profiling_fault(p, &mut report);
+            self.stats.mm_accesses[tier.index()] += 1;
+            tier_bytes[tier.index()] += per_page;
+            tier_touched[tier.index()] = true;
+            self.record_traffic(tier, per_page, write, now);
+        }
+
+        // Latency once per tier touched, bandwidth per byte.
+        for tier in Tier::both() {
+            if tier_touched[tier.index()] {
+                report.elapsed_ns += self.cfg.tier(tier).access_time_ns(tier_bytes[tier.index()], write);
+            }
+        }
+        if cache_bytes > 0 {
+            if let Some(cache) = &self.cache {
+                report.elapsed_ns += cache.hit_time_ns(cache_bytes);
+            }
+        }
+        report.elapsed_ns += report.faults * self.cfg.fault_overhead_ns;
+        report.bytes_fast += tier_bytes[Tier::Fast.index()];
+        report.bytes_slow += tier_bytes[Tier::Slow.index()];
+        self.stats.cache_hits += report.cache_hits;
+        report
+    }
+
+    fn count_profiling_fault(&mut self, page: u64, report: &mut AccessReport) {
+        if let Some(profiler) = &mut self.profiler {
+            let poisoned = self.table.get(page).map(|e| e.poisoned).unwrap_or(false);
+            if poisoned {
+                profiler.record_fault(page);
+                report.faults += 1;
+                self.stats.profiling_faults += 1;
+                // The fault handler counts, re-poisons and flushes the TLB,
+                // so the bit stays set for the next access.
+            }
+        }
+    }
+
+    fn record_traffic(&mut self, tier: Tier, bytes: u64, write: bool, now: Ns) {
+        if write {
+            self.stats.bytes_written[tier.index()] += bytes;
+        } else {
+            self.stats.bytes_read[tier.index()] += bytes;
+        }
+        if let Some(tl) = &mut self.timeline {
+            tl.record(tier, bytes, now);
+        }
+    }
+
+    // ------------------------------------------------------------ migration
+
+    /// Issue an asynchronous migration of `range` into `dest`.
+    ///
+    /// The destination frames are reserved immediately; the source frames are
+    /// released when the copy completes (see [`MemorySystem::poll`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotMapped`] if a page is not mapped in `dest.other()`,
+    /// [`MemError::MigrationInFlight`] if a page is already moving, or
+    /// [`MemError::CapacityExceeded`] if `dest` lacks space.
+    pub fn migrate(&mut self, range: PageRange, dest: Tier, now: Ns) -> Result<MigrationTicket, MemError> {
+        self.migrate_with_priority(range, dest, now, false)
+    }
+
+    /// Like [`MemorySystem::migrate`] but on the urgent (demand-fault) lane:
+    /// the copy does not queue behind pending prefetch batches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemorySystem::migrate`].
+    pub fn migrate_urgent(&mut self, range: PageRange, dest: Tier, now: Ns) -> Result<MigrationTicket, MemError> {
+        self.migrate_with_priority(range, dest, now, true)
+    }
+
+    fn migrate_with_priority(&mut self, range: PageRange, dest: Tier, now: Ns, urgent: bool) -> Result<MigrationTicket, MemError> {
+        self.table.check_range(range)?;
+        let src = dest.other();
+        for p in range.iter() {
+            let pte = self.table.get(p)?;
+            if pte.in_flight {
+                return Err(MemError::MigrationInFlight { page: p });
+            }
+            if self.table.tier_of(p) != Some(src) {
+                return Err(MemError::NotMapped { page: p });
+            }
+        }
+        let free = self.free_pages(dest);
+        if range.count > free {
+            return Err(MemError::CapacityExceeded { tier: dest, requested_pages: range.count, free_pages: free });
+        }
+        self.used_pages[dest.index()] += range.count;
+        self.stats.observe_mapped(self.used_pages);
+        for p in range.iter() {
+            self.table.get_mut(p).expect("checked").in_flight = true;
+        }
+        let direction = Direction::into_tier(dest);
+        let ticket = if urgent {
+            self.engine.enqueue_urgent(range, direction, now)
+        } else {
+            self.engine.enqueue(range, direction, now)
+        };
+        let _ = src;
+        Ok(ticket)
+    }
+
+    /// Apply every migration completed by `now`.
+    pub fn poll(&mut self, now: Ns) {
+        for done in self.engine.drain_completed(now) {
+            self.apply_completion(&done);
+        }
+    }
+
+    fn apply_completion(&mut self, done: &InFlight) {
+        let dest = done.direction.dest();
+        let src = done.direction.source();
+        let mut moved_pages = 0u64;
+        for p in done.range.iter() {
+            let Ok(pte) = self.table.get_mut(p) else { continue };
+            if !pte.in_flight {
+                continue; // aborted (page freed mid-copy)
+            }
+            pte.in_flight = false;
+            if pte.state == PageState::Mapped(src) {
+                pte.state = PageState::Mapped(dest);
+                self.used_pages[src.index()] -= 1;
+                moved_pages += 1;
+                // dest was reserved at enqueue.
+            }
+        }
+        // Account bytes and traffic only for copies that actually completed
+        // (cancelled batches consume no bandwidth and move no data).
+        let bytes = moved_pages * self.cfg.page_size;
+        if bytes > 0 {
+            match done.direction {
+                Direction::Promote => self.stats.promoted_bytes += bytes,
+                Direction::Demote => self.stats.demoted_bytes += bytes,
+            }
+            self.record_traffic(src, bytes, false, done.ready_at);
+            self.record_traffic(dest, bytes, true, done.ready_at);
+        }
+    }
+
+    /// Block until all in-flight migrations finish; returns the completion
+    /// time (`>= now`). The caller should advance its clock to the returned
+    /// value — this is Sentinel's Case-3 "continue migration and wait".
+    pub fn sync_migrations(&mut self, now: Ns) -> Ns {
+        let done_at = self.engine.quiescent_at().max(now);
+        self.poll(done_at);
+        done_at
+    }
+
+    /// Time at which the channel moving pages into `dest` becomes idle.
+    #[must_use]
+    pub fn channel_free_at(&self, dest: Tier) -> Ns {
+        self.engine.busy_until(Direction::into_tier(dest))
+    }
+
+    /// Whether any migration is still in flight.
+    #[must_use]
+    pub fn has_in_flight(&self) -> bool {
+        self.engine.has_in_flight()
+    }
+
+    /// Whether any page of `range` has a migration in flight.
+    #[must_use]
+    pub fn range_in_flight(&self, range: PageRange) -> bool {
+        range.iter().any(|p| self.table.get(p).map(|e| e.in_flight).unwrap_or(false))
+    }
+
+    /// When every in-flight migration overlapping `range` completes, if any.
+    /// Waiting until this time (instead of full channel quiescence) lets a
+    /// faulting access wait for *its* pages without serializing behind
+    /// unrelated queued prefetches.
+    #[must_use]
+    pub fn range_ready_at(&self, range: PageRange) -> Option<Ns> {
+        self.engine.range_ready_at(range)
+    }
+
+    /// Abandon every migration still pending at `now` (Case-3 "leave in slow
+    /// memory"). Pages stay in their source tier; destination reservations
+    /// are released. Returns the number of pages whose move was abandoned.
+    pub fn cancel_pending_migrations(&mut self, now: Ns) -> u64 {
+        self.poll(now);
+        let mut cancelled_pages = 0;
+        for batch in self.engine.cancel_pending(now) {
+            let dest = batch.direction.dest();
+            for p in batch.range.iter() {
+                let Ok(pte) = self.table.get_mut(p) else { continue };
+                if pte.in_flight {
+                    pte.in_flight = false;
+                    self.used_pages[dest.index()] -= 1;
+                    cancelled_pages += 1;
+                }
+            }
+        }
+        cancelled_pages
+    }
+
+    /// Cancel pending migrations overlapping `range` (the pages stay in
+    /// their source tier; destination reservations are released). Pending
+    /// batches that only partially overlap are re-issued for their
+    /// non-overlapping pages. Used by demand-fault handlers to preempt a
+    /// queued prefetch of the pages they need *now*.
+    pub fn cancel_overlapping(&mut self, range: PageRange, now: Ns) {
+        self.abort_migrations_overlapping(range, now);
+    }
+
+    fn abort_migrations_overlapping(&mut self, range: PageRange, now: Ns) {
+        self.poll(now);
+        // Cancel all pending batches, then re-enqueue the non-overlapping parts.
+        let pending = self.engine.cancel_pending(now);
+        for batch in pending {
+            let dest = batch.direction.dest();
+            for p in batch.range.iter() {
+                let Ok(pte) = self.table.get_mut(p) else { continue };
+                if pte.in_flight {
+                    pte.in_flight = false;
+                    self.used_pages[dest.index()] -= 1;
+                }
+            }
+            // Re-issue sub-ranges that do not overlap the range being unmapped.
+            for p in batch.range.iter() {
+                if !range.contains(p) {
+                    let sub = PageRange::new(p, 1);
+                    // Best-effort: if re-issue fails, the page simply stays put.
+                    let _ = self.migrate(sub, dest, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ profiling
+
+    /// Begin a profiling phase: every mapped page is poisoned and every
+    /// future mapping is poisoned on arrival, so each main-memory access
+    /// faults and is counted (paper Section III-A).
+    pub fn start_profiling(&mut self) {
+        self.profiler = Some(PageAccessProfiler::new());
+        for p in 0..self.table.reserved() {
+            if let Ok(pte) = self.table.get_mut(p) {
+                if matches!(pte.state, PageState::Mapped(_)) {
+                    pte.poisoned = true;
+                }
+            }
+        }
+        if let Some(cache) = &mut self.cache {
+            // The paper flushes the TLB; flushing the cache filter keeps the
+            // first profiled access of each page visible to the counter.
+            cache.flush();
+        }
+    }
+
+    /// End the profiling phase, unpoisoning all pages and returning the
+    /// collected per-page access counts.
+    pub fn stop_profiling(&mut self) -> PageAccessMap {
+        for p in 0..self.table.reserved() {
+            if let Ok(pte) = self.table.get_mut(p) {
+                pte.poisoned = false;
+            }
+        }
+        self.profiler.take().map(PageAccessProfiler::into_map).unwrap_or_default()
+    }
+
+    /// Whether a profiling phase is active.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    // ------------------------------------------------------------ modes
+
+    /// Enable Optane Memory Mode: all pages should be mapped in [`Tier::Slow`];
+    /// the fast tier becomes a hardware-managed direct-mapped page cache.
+    pub fn enable_memory_mode(&mut self, spec: MemoryModeSpec) {
+        self.memmode = Some(MemoryModeCache::new(spec));
+    }
+
+    /// Memory-Mode cache statistics, if enabled.
+    #[must_use]
+    pub fn memory_mode_stats(&self) -> Option<&crate::MemoryModeStats> {
+        self.memmode.as_ref().map(|m| m.stats())
+    }
+
+    /// Record per-tier traffic into time buckets of `bucket_ns` (Figure 9).
+    pub fn enable_timeline(&mut self, bucket_ns: Ns) {
+        self.timeline = Some(StatsTimeline::new(bucket_ns));
+    }
+
+    /// The recorded traffic timeline, if enabled.
+    #[must_use]
+    pub fn timeline(&self) -> Option<&StatsTimeline> {
+        self.timeline.as_ref()
+    }
+
+    // ------------------------------------------------------------ stats
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Accesses that hit unmapped pages (should be zero in healthy runs).
+    #[must_use]
+    pub fn unmapped_accesses(&self) -> u64 {
+        self.unmapped_accesses
+    }
+
+    /// Reset traffic counters (keeps mappings, modes and migrations).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.stats.observe_mapped(self.used_pages);
+        self.unmapped_accesses = 0;
+        if let Some(tl) = &mut self.timeline {
+            *tl = StatsTimeline::new(tl.bucket_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(HmConfig::testing())
+    }
+
+    #[test]
+    fn map_and_unmap_track_usage() {
+        let mut m = sys();
+        let r = m.reserve(4);
+        m.map(r, Tier::Fast, 0).unwrap();
+        assert_eq!(m.used_pages(Tier::Fast), 4);
+        assert_eq!(m.free_pages(Tier::Fast), 12);
+        m.unmap(r, 0).unwrap();
+        assert_eq!(m.used_pages(Tier::Fast), 0);
+    }
+
+    #[test]
+    fn double_map_is_rejected() {
+        let mut m = sys();
+        let r = m.reserve(2);
+        m.map(r, Tier::Fast, 0).unwrap();
+        assert!(matches!(m.map(r, Tier::Slow, 0), Err(MemError::AlreadyMapped { .. })));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = sys();
+        let r = m.reserve(17); // fast tier holds 16 pages
+        assert!(matches!(m.map(r, Tier::Fast, 0), Err(MemError::CapacityExceeded { .. })));
+        m.map(r, Tier::Slow, 0).unwrap();
+    }
+
+    #[test]
+    fn access_charges_tier_timing() {
+        let mut m = sys();
+        let fast = m.reserve(1);
+        let slow = m.reserve(1);
+        m.map(fast, Tier::Fast, 0).unwrap();
+        m.map(slow, Tier::Slow, 0).unwrap();
+        let a = m.access(fast, 4096, AccessKind::Read, 0);
+        let b = m.access(slow, 4096, AccessKind::Read, 0);
+        assert!(b.elapsed_ns > a.elapsed_ns);
+        assert_eq!(a.bytes_fast, 4096);
+        assert_eq!(b.bytes_slow, 4096);
+        assert_eq!(a.mm_accesses, 1);
+    }
+
+    #[test]
+    fn migration_moves_pages_after_completion() {
+        let mut m = sys();
+        let r = m.reserve(2);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let t = m.migrate(r, Tier::Fast, 0).unwrap();
+        // Before completion the pages still read as slow.
+        assert_eq!(m.tier_of(r.first), Some(Tier::Slow));
+        assert_eq!(m.used_pages(Tier::Fast), 2); // reserved
+        m.poll(t.ready_at);
+        assert_eq!(m.tier_of(r.first), Some(Tier::Fast));
+        assert_eq!(m.used_pages(Tier::Slow), 0);
+        assert_eq!(m.used_pages(Tier::Fast), 2);
+    }
+
+    #[test]
+    fn migrate_requires_source_tier() {
+        let mut m = sys();
+        let r = m.reserve(1);
+        m.map(r, Tier::Fast, 0).unwrap();
+        assert!(matches!(m.migrate(r, Tier::Fast, 0), Err(MemError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn double_migration_is_rejected() {
+        let mut m = sys();
+        let r = m.reserve(1);
+        m.map(r, Tier::Slow, 0).unwrap();
+        m.migrate(r, Tier::Fast, 0).unwrap();
+        assert!(matches!(m.migrate(r, Tier::Fast, 0), Err(MemError::MigrationInFlight { .. })));
+    }
+
+    #[test]
+    fn cancel_pending_keeps_pages_in_source() {
+        let mut m = sys();
+        let r = m.reserve(4);
+        m.map(r, Tier::Slow, 0).unwrap();
+        m.migrate(r, Tier::Fast, 0).unwrap();
+        let cancelled = m.cancel_pending_migrations(1); // long before ready
+        assert_eq!(cancelled, 4);
+        assert_eq!(m.tier_of(r.first), Some(Tier::Slow));
+        assert_eq!(m.used_pages(Tier::Fast), 0);
+    }
+
+    #[test]
+    fn sync_migrations_advances_to_quiescence() {
+        let mut m = sys();
+        let r = m.reserve(2);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let t = m.migrate(r, Tier::Fast, 0).unwrap();
+        let done = m.sync_migrations(0);
+        assert_eq!(done, t.ready_at);
+        assert_eq!(m.tier_of(r.first), Some(Tier::Fast));
+    }
+
+    #[test]
+    fn unmap_aborts_overlapping_migration() {
+        let mut m = sys();
+        let r = m.reserve(2);
+        m.map(r, Tier::Slow, 0).unwrap();
+        m.migrate(r, Tier::Fast, 0).unwrap();
+        m.unmap(r, 0).unwrap();
+        assert_eq!(m.used_pages(Tier::Fast), 0);
+        assert_eq!(m.used_pages(Tier::Slow), 0);
+        assert!(m.tier_of(r.first).is_none());
+    }
+
+    #[test]
+    fn profiling_counts_mm_accesses() {
+        let mut m = sys();
+        let r = m.reserve(2);
+        m.map(r, Tier::Slow, 0).unwrap();
+        m.start_profiling();
+        assert!(m.profiling());
+        let rep = m.access(r, 8192, AccessKind::Read, 0);
+        assert_eq!(rep.faults, 2);
+        let again = m.access(r, 8192, AccessKind::Write, 0);
+        assert_eq!(again.faults, 2); // re-poisoned, counted again
+        let map = m.stop_profiling();
+        assert_eq!(map.count(r.first), 2);
+        assert_eq!(map.total(), 4);
+        assert!(!m.profiling());
+    }
+
+    #[test]
+    fn profiling_fault_overhead_is_charged() {
+        let mut m = sys();
+        let r = m.reserve(1);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let before = m.access(r, 4096, AccessKind::Read, 0).elapsed_ns;
+        m.start_profiling();
+        let during = m.access(r, 4096, AccessKind::Read, 0).elapsed_ns;
+        assert_eq!(during, before + m.config().fault_overhead_ns);
+    }
+
+    #[test]
+    fn pages_mapped_during_profiling_are_poisoned() {
+        let mut m = sys();
+        m.start_profiling();
+        let r = m.reserve(1);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let rep = m.access(r, 4096, AccessKind::Read, 0);
+        assert_eq!(rep.faults, 1);
+    }
+
+    #[test]
+    fn memory_mode_services_hits_from_fast() {
+        let mut m = sys();
+        m.enable_memory_mode(MemoryModeSpec::with_capacity_pages(8));
+        let r = m.reserve(1);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let miss = m.access(r, 4096, AccessKind::Read, 0);
+        let hit = m.access(r, 4096, AccessKind::Read, 0);
+        assert!(hit.elapsed_ns < miss.elapsed_ns);
+        assert_eq!(miss.bytes_slow, 4096);
+        assert_eq!(hit.bytes_fast, 4096);
+        let s = m.memory_mode_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn timeline_records_traffic() {
+        let mut m = sys();
+        m.enable_timeline(1_000);
+        let r = m.reserve(1);
+        m.map(r, Tier::Fast, 0).unwrap();
+        m.access(r, 4096, AccessKind::Read, 500);
+        let tl = m.timeline().unwrap();
+        assert_eq!(tl.samples()[0].fast_bytes, 4096);
+    }
+
+    #[test]
+    fn subranges_in_tier_splits_correctly() {
+        let mut m = sys();
+        let r = m.reserve(6);
+        m.map(PageRange::new(0, 2), Tier::Fast, 0).unwrap();
+        m.map(PageRange::new(2, 2), Tier::Slow, 0).unwrap();
+        m.map(PageRange::new(4, 2), Tier::Fast, 0).unwrap();
+        let subs = m.subranges_in_tier(r, Tier::Fast);
+        assert_eq!(subs, vec![PageRange::new(0, 2), PageRange::new(4, 2)]);
+        let slow = m.subranges_in_tier(r, Tier::Slow);
+        assert_eq!(slow, vec![PageRange::new(2, 2)]);
+    }
+
+    #[test]
+    fn access_to_unmapped_counts_and_uses_slow() {
+        let mut m = sys();
+        let r = m.reserve(1);
+        let rep = m.access(r, 4096, AccessKind::Read, 0);
+        assert_eq!(rep.bytes_slow, 4096);
+        assert_eq!(m.unmapped_accesses(), 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic_but_not_layout() {
+        let mut m = sys();
+        let r = m.reserve(1);
+        m.map(r, Tier::Fast, 0).unwrap();
+        m.access(r, 4096, AccessKind::Read, 0);
+        m.reset_stats();
+        assert_eq!(m.stats().tier_bytes(Tier::Fast), 0);
+        assert_eq!(m.used_pages(Tier::Fast), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Software page table.
+//!
+//! Each reserved virtual page has a [`Pte`] recording where (and whether) it
+//! is mapped, plus the poison bit used by the profiling mechanism — the
+//! simulated analogue of the reserved PTE bit 51 the paper sets in the Linux
+//! kernel.
+
+use crate::{MemError, PageRange, Tier};
+
+/// Mapping state of a virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Reserved virtual space, no physical frame.
+    Unmapped,
+    /// Backed by a frame in the given tier.
+    Mapped(Tier),
+}
+
+/// A page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Mapping state.
+    pub state: PageState,
+    /// The profiling poison bit (paper: reserved PTE bit 51). When set, the
+    /// next main-memory access faults and is counted.
+    pub poisoned: bool,
+    /// Whether a migration for this page is currently in flight.
+    pub in_flight: bool,
+}
+
+impl Pte {
+    const UNMAPPED: Pte = Pte { state: PageState::Unmapped, poisoned: false, in_flight: false };
+}
+
+impl Default for Pte {
+    fn default() -> Self {
+        Pte::UNMAPPED
+    }
+}
+
+/// A growable page table over the reserved virtual address space.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    entries: Vec<Pte>,
+}
+
+impl PageTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        PageTable { entries: Vec::new() }
+    }
+
+    /// Number of reserved virtual pages.
+    #[must_use]
+    pub fn reserved(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Extend the virtual address space by `count` pages, returning the new range.
+    pub fn reserve(&mut self, count: u64) -> PageRange {
+        let first = self.entries.len() as u64;
+        self.entries.resize(self.entries.len() + count as usize, Pte::UNMAPPED);
+        PageRange::new(first, count)
+    }
+
+    /// Entry for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the page was never reserved.
+    pub fn get(&self, page: u64) -> Result<&Pte, MemError> {
+        self.entries
+            .get(page as usize)
+            .ok_or(MemError::OutOfRange { range: PageRange::new(page, 1), reserved: self.reserved() })
+    }
+
+    /// Mutable entry for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the page was never reserved.
+    pub fn get_mut(&mut self, page: u64) -> Result<&mut Pte, MemError> {
+        let reserved = self.reserved();
+        self.entries
+            .get_mut(page as usize)
+            .ok_or(MemError::OutOfRange { range: PageRange::new(page, 1), reserved })
+    }
+
+    /// Validate that an entire range was reserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if any page is outside the table.
+    pub fn check_range(&self, range: PageRange) -> Result<(), MemError> {
+        if range.end() > self.reserved() {
+            return Err(MemError::OutOfRange { range, reserved: self.reserved() });
+        }
+        Ok(())
+    }
+
+    /// The tier a page is mapped in, if any.
+    #[must_use]
+    pub fn tier_of(&self, page: u64) -> Option<Tier> {
+        match self.entries.get(page as usize)?.state {
+            PageState::Mapped(t) => Some(t),
+            PageState::Unmapped => None,
+        }
+    }
+
+    /// Iterate over `(page, pte)` for every mapped page in a range.
+    pub fn mapped_in(&self, range: PageRange) -> impl Iterator<Item = (u64, &Pte)> + '_ {
+        range
+            .iter()
+            .filter_map(move |p| self.entries.get(p as usize).map(|e| (p, e)))
+            .filter(|(_, e)| matches!(e.state, PageState::Mapped(_)))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// Count mapped pages per tier across the whole table.
+    #[must_use]
+    pub fn mapped_counts(&self) -> [u64; 2] {
+        let mut counts = [0u64; 2];
+        for e in &self.entries {
+            if let PageState::Mapped(t) = e.state {
+                counts[t.index()] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_grows_contiguously() {
+        let mut t = PageTable::new();
+        let a = t.reserve(3);
+        let b = t.reserve(2);
+        assert_eq!(a, PageRange::new(0, 3));
+        assert_eq!(b, PageRange::new(3, 2));
+        assert_eq!(t.reserved(), 5);
+    }
+
+    #[test]
+    fn default_entries_are_unmapped_and_clean() {
+        let mut t = PageTable::new();
+        let r = t.reserve(1);
+        let e = t.get(r.first).unwrap();
+        assert_eq!(e.state, PageState::Unmapped);
+        assert!(!e.poisoned);
+        assert!(!e.in_flight);
+        assert_eq!(t.tier_of(r.first), None);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let t = PageTable::new();
+        assert!(matches!(t.get(0), Err(MemError::OutOfRange { .. })));
+        assert!(t.check_range(PageRange::new(0, 1)).is_err());
+        assert!(t.check_range(PageRange::empty()).is_ok());
+    }
+
+    #[test]
+    fn mapping_is_visible_through_queries() {
+        let mut t = PageTable::new();
+        let r = t.reserve(4);
+        t.get_mut(1).unwrap().state = PageState::Mapped(Tier::Fast);
+        t.get_mut(2).unwrap().state = PageState::Mapped(Tier::Slow);
+        assert_eq!(t.tier_of(1), Some(Tier::Fast));
+        assert_eq!(t.tier_of(2), Some(Tier::Slow));
+        assert_eq!(t.mapped_in(r).count(), 2);
+        assert_eq!(t.mapped_counts(), [1, 1]);
+    }
+}

@@ -1,0 +1,182 @@
+//! BERT transformer training-graph generator.
+
+use crate::net::Net;
+use crate::spec::ModelSpec;
+use sentinel_dnn::{Graph, GraphError, OpKind, TensorId};
+
+/// Build a BERT training graph: embedding, `layers` transformer blocks
+/// (forward then backward), and an MLM-style head.
+pub(crate) fn build(spec: &ModelSpec, layers: u32, hidden: u32, seq: u32) -> Result<Graph, GraphError> {
+    let mut net = Net::new(spec.name(), spec.batch, spec.scale);
+    let b = u64::from(spec.batch);
+    let h = net.dim(u64::from(hidden));
+    let s = u64::from(seq);
+    let vocab = net.dim(30_522);
+    let heads = (h / 64).max(1);
+    let tok = b * s; // tokens per batch
+    let act = tok * h; // elements of one hidden-state tensor
+
+    // Embedding table and token ids.
+    let ids = net.input("token_ids", tok);
+    let emb_w = net.weight("emb/table", vocab * h);
+    net.b.begin_layer("emb/fwd");
+    let emb = net.act("emb/out", act);
+    net.b.op("emb/lookup", OpKind::Embedding, 2 * act).reads(&[ids, emb_w]).writes(&[emb]).push();
+
+    // Forward transformer blocks.
+    struct BlockState {
+        name: String,
+        x: TensorId,
+        probs: TensorId,
+        ffa: TensorId,
+        // `out` becomes the next block's `x`; not needed separately.
+        wq: TensorId,
+        wk: TensorId,
+        wv: TensorId,
+        wo: TensorId,
+        wf1: TensorId,
+        wf2: TensorId,
+    }
+    let mut blocks = Vec::new();
+    let mut x = emb;
+    let proj_flops = 2 * tok * h * h;
+    let attn_flops = 2 * b * heads * s * s * 64;
+    let ffn_flops = 2 * tok * h * 4 * h;
+    for li in 0..layers {
+        let name = format!("blk{li}");
+        let wq = net.weight(format!("{name}/wq"), h * h);
+        let wk = net.weight(format!("{name}/wk"), h * h);
+        let wv = net.weight(format!("{name}/wv"), h * h);
+        let wo = net.weight(format!("{name}/wo"), h * h);
+        let wf1 = net.weight(format!("{name}/wf1"), h * 4 * h);
+        let wf2 = net.weight(format!("{name}/wf2"), 4 * h * h);
+
+        net.b.begin_layer(format!("{name}/fwd"));
+        let q = net.tmp(format!("{name}/q"), act);
+        let k = net.tmp(format!("{name}/k"), act);
+        let v = net.tmp(format!("{name}/v"), act);
+        net.b.op(format!("{name}/proj_q"), OpKind::MatMul, proj_flops).reads(&[x, wq]).writes(&[q]).push();
+        net.b.op(format!("{name}/proj_k"), OpKind::MatMul, proj_flops).reads(&[x, wk]).writes(&[k]).push();
+        net.b.op(format!("{name}/proj_v"), OpKind::MatMul, proj_flops).reads(&[x, wv]).writes(&[v]).push();
+        let qt = net.tmp(format!("{name}/qT"), act);
+        net.b.op(format!("{name}/transpose"), OpKind::Transpose, act).reads(&[q]).writes(&[qt]).push();
+        let scores = net.tmp(format!("{name}/scores"), b * heads * s * s);
+        net.b.op(format!("{name}/qk"), OpKind::Attention, attn_flops).reads_n(qt, 1).reads_n(k, 2).writes(&[scores]).push();
+        // Attention probabilities are saved for backward — a large long-lived tensor.
+        let probs = net.act(format!("{name}/probs"), b * heads * s * s);
+        net.b.op(format!("{name}/softmax"), OpKind::Softmax, 5 * b * heads * s * s).reads(&[scores]).writes(&[probs]).push();
+        let ctxt = net.tmp(format!("{name}/ctx"), act);
+        net.b.op(format!("{name}/pv"), OpKind::Attention, attn_flops).reads_n(probs, 1).reads_n(v, 2).writes(&[ctxt]).push();
+        let attn = net.tmp(format!("{name}/attn"), act);
+        net.b.op(format!("{name}/proj_o"), OpKind::MatMul, proj_flops).reads(&[ctxt, wo]).writes(&[attn]).push();
+        let ln1 = net.tmp(format!("{name}/ln1"), act);
+        net.b.op(format!("{name}/ln1"), OpKind::LayerNorm, 8 * act).reads(&[attn, x]).writes(&[ln1]).push();
+        // FFN with saved GELU activation.
+        let ffa = net.act(format!("{name}/ffa"), tok * 4 * h);
+        net.b.op(format!("{name}/ff1"), OpKind::MatMul, ffn_flops).reads(&[ln1, wf1]).writes(&[ffa]).push();
+        let ffb = net.tmp(format!("{name}/ffb"), act);
+        net.b.op(format!("{name}/ff2"), OpKind::MatMul, ffn_flops).reads_n(ffa, 2).reads(&[wf2]).writes(&[ffb]).push();
+        let out = net.act(format!("{name}/out"), act);
+        net.b.op(format!("{name}/ln2"), OpKind::LayerNorm, 8 * act).reads(&[ffb, ln1]).writes(&[out]).push();
+
+        blocks.push(BlockState { name, x, probs, ffa, wq, wk, wv, wo, wf1, wf2 });
+        x = out;
+    }
+
+    // MLM head: project to vocabulary and compute loss.
+    net.b.begin_layer("head/fwd");
+    let logits = net.tmp("head/logits", tok * vocab / 8); // masked positions only (~1/8)
+    net.b.op("head/proj", OpKind::MatMul, 2 * tok / 8 * h * vocab).reads(&[x]).reads_n(emb_w, 2).writes(&[logits]).push();
+    let loss = net.act("head/loss", tok / 8 + 1);
+    net.b.op("head/loss", OpKind::Loss, tok / 8 * vocab).reads(&[logits]).writes(&[loss]).push();
+
+    // Backward head.
+    net.b.begin_layer("head/bwd");
+    let mut dx = net.agrad("head/dx", act);
+    let d_emb = net.wgrad("head/demb", vocab * h);
+    net.b.op("head/bwd", OpKind::MatMul, 4 * tok / 8 * h * vocab).reads(&[loss, x]).reads_n(emb_w, 2).writes(&[dx, d_emb]).push();
+    let m_emb_head = net.moments("head/m_emb", vocab * h);
+    net.b.op("head/upd_emb", OpKind::WeightUpdate, 8 * vocab * h).reads(&[d_emb, m_emb_head]).writes(&[emb_w, m_emb_head]).push();
+
+    // Backward blocks in reverse order.
+    for blk in blocks.iter().rev() {
+        net.b.begin_layer(format!("{}/bwd", blk.name));
+        // FFN backward.
+        let dff = net.tmp(format!("{}/dff", blk.name), tok * 4 * h);
+        net.b.op(format!("{}/dff2", blk.name), OpKind::MatMul, ffn_flops).reads(&[dx, blk.wf2]).reads_n(blk.ffa, 1).writes(&[dff]).push();
+        let dwf2 = net.wgrad(format!("{}/dwf2", blk.name), 4 * h * h);
+        net.b.op(format!("{}/dwf2", blk.name), OpKind::MatMul, ffn_flops).reads(&[dx, blk.ffa]).writes(&[dwf2]).push();
+        let mf2 = net.moments(format!("{}/m_f2", blk.name), 4 * h * h);
+        net.b.op(format!("{}/updf2", blk.name), OpKind::WeightUpdate, 8 * 4 * h * h).reads(&[dwf2, mf2]).writes(&[blk.wf2, mf2]).push();
+        let dln1 = net.tmp(format!("{}/dln1", blk.name), act);
+        let dwf1 = net.wgrad(format!("{}/dwf1", blk.name), h * 4 * h);
+        net.b.op(format!("{}/dff1", blk.name), OpKind::MatMul, ffn_flops).reads(&[dff, blk.wf1]).writes(&[dln1, dwf1]).push();
+        let mf1 = net.moments(format!("{}/m_f1", blk.name), h * 4 * h);
+        net.b.op(format!("{}/updf1", blk.name), OpKind::WeightUpdate, 8 * h * 4 * h).reads(&[dwf1, mf1]).writes(&[blk.wf1, mf1]).push();
+        // Attention backward: uses saved probs and the block input.
+        let dattn = net.tmp(format!("{}/dattn", blk.name), act);
+        net.b.op(format!("{}/dpv", blk.name), OpKind::Attention, 2 * attn_flops).reads_n(blk.probs, 2).reads(&[dln1]).writes(&[dattn]).push();
+        let dqkv = net.tmp(format!("{}/dqkv", blk.name), 3 * act);
+        net.b.op(format!("{}/dscore", blk.name), OpKind::Attention, 2 * attn_flops).reads(&[dattn, blk.probs]).writes(&[dqkv]).push();
+        let d_in = net.agrad(format!("{}/dx", blk.name), act);
+        for (wname, w) in [("wq", blk.wq), ("wk", blk.wk), ("wv", blk.wv), ("wo", blk.wo)] {
+            let dw = net.wgrad(format!("{}/d{}", blk.name, wname), h * h);
+            net.b.op(format!("{}/d{}", blk.name, wname), OpKind::MatMul, proj_flops).reads(&[dqkv, blk.x]).writes(&[dw]).push();
+            let mw = net.moments(format!("{}/m_{}", blk.name, wname), h * h);
+            net.b.op(format!("{}/upd_{}", blk.name, wname), OpKind::WeightUpdate, 8 * h * h).reads(&[dw, mw]).writes(&[w, mw]).push();
+        }
+        net.b.op(format!("{}/dproj", blk.name), OpKind::MatMul, 4 * proj_flops).reads(&[dqkv, blk.wq, blk.wk, blk.wv, blk.wo]).writes(&[d_in]).push();
+        dx = d_in;
+    }
+
+    // Embedding backward.
+    net.b.begin_layer("emb/bwd");
+    let demb = net.wgrad("emb/dtable", vocab * h);
+    net.b.op("emb/scatter", OpKind::Embedding, 2 * act).reads(&[dx, ids]).writes(&[demb]).push();
+    let m_emb = net.moments("emb/m", vocab * h);
+    net.b.op("emb/update", OpKind::WeightUpdate, 8 * vocab * h).reads(&[demb, m_emb]).writes(&[emb_w, m_emb]).push();
+
+    net.b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        build(&ModelSpec::bert_base(2).with_scale(8), 4, 768, 32).unwrap()
+    }
+
+    #[test]
+    fn builds_with_expected_layers() {
+        let g = tiny();
+        // emb + 4 blocks + head forward, head + 4 blocks + emb backward = 12.
+        assert_eq!(g.num_layers(), 12);
+    }
+
+    #[test]
+    fn attention_probs_are_long_lived() {
+        let g = tiny();
+        let probs: Vec<_> = g
+            .tensors()
+            .iter()
+            .filter(|t| t.name.ends_with("/probs"))
+            .collect();
+        assert_eq!(probs.len(), 4);
+        assert!(probs.iter().all(|t| !t.is_short_lived()));
+    }
+
+    #[test]
+    fn qkv_temporaries_are_short_lived() {
+        let g = tiny();
+        let q = g.tensors().iter().find(|t| t.name == "blk0/q").unwrap();
+        assert!(q.is_short_lived());
+    }
+
+    #[test]
+    fn bert_large_is_bigger_than_base() {
+        let base = build(&ModelSpec::bert_base(2).with_scale(8), 4, 768, 32).unwrap();
+        let large = build(&ModelSpec::bert_large(2).with_scale(8), 8, 1024, 64).unwrap();
+        assert!(large.peak_live_bytes() > base.peak_live_bytes());
+    }
+}

@@ -1,0 +1,39 @@
+//! # sentinel-models — training-graph model zoo
+//!
+//! Synthetic but architecturally faithful generators for the five model
+//! families of the paper's evaluation (Table III): ResNet (CIFAR and
+//! ImageNet topologies), BERT, LSTM, MobileNet-v1 and DCGAN.
+//!
+//! Each generator emits a full training step — forward layers, backward
+//! layers and weight updates — as a [`sentinel_dnn::Graph`], with the tensor
+//! population the paper characterizes: many small short-lived temporaries
+//! inside operations (padding, transpose, gates, attention scores), saved
+//! activations that live from their forward layer to the matching backward
+//! layer, small hot weights, and gradient tensors. Batch size scales
+//! activation footprints; [`ModelSpec::with_scale`] shrinks widths for fast
+//! tests without changing the population *shape*.
+//!
+//! ```
+//! use sentinel_models::{ModelSpec, ModelZoo};
+//!
+//! # fn main() -> Result<(), sentinel_dnn::GraphError> {
+//! let spec = ModelSpec::resnet(32, 8).with_scale(4);
+//! let graph = ModelZoo::build(&spec)?;
+//! println!("{}: {} layers, {} tensors, peak {} MiB",
+//!     graph.name(), graph.num_layers(), graph.num_tensors(),
+//!     graph.peak_live_bytes() >> 20);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bert;
+mod dcgan;
+mod lstm;
+mod mobilenet;
+mod net;
+mod resnet;
+mod spec;
+mod zoo;
+
+pub use spec::{ModelFamily, ModelSpec};
+pub use zoo::ModelZoo;

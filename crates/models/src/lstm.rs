@@ -1,0 +1,232 @@
+//! LSTM language-model training-graph generator.
+//!
+//! The unrolled recurrence makes this the workload with genuinely *hot*
+//! tensors: the recurrent weight matrices and the output-projection weights
+//! are read at every timestep of both passes, and the gradient accumulators
+//! are updated at every backward timestep — exactly the ">100 main-memory
+//! accesses" population of the paper's Observation 2. The vocabulary
+//! projection is computed per timestep (as production LM implementations
+//! chunk it), so the logits are a stream of short-lived tensors rather than
+//! one huge buffer.
+
+use crate::net::Net;
+use crate::spec::ModelSpec;
+use sentinel_dnn::{Graph, GraphError, OpKind, TensorId};
+
+/// Build a 2-layer LSTM LM unrolled over `timesteps`.
+pub(crate) fn build(spec: &ModelSpec, hidden: u32, timesteps: u32) -> Result<Graph, GraphError> {
+    let mut net = Net::new(spec.name(), spec.batch, spec.scale);
+    let b = u64::from(spec.batch);
+    let h = net.dim(u64::from(hidden));
+    let t_steps = u64::from(timesteps);
+    let vocab = net.dim(10_000);
+    let nlayers = 2usize;
+
+    // Weights: embedding, per-LSTM-layer input/recurrent matrices, projection.
+    let ids = net.input("token_ids", b * t_steps);
+    let emb_w = net.weight("emb/table", vocab * h);
+    let proj_w = net.weight("proj/w", h * vocab);
+    let mut wx = Vec::new();
+    let mut wh = Vec::new();
+    for l in 0..nlayers {
+        wx.push(net.weight(format!("l{l}/wx"), h * 4 * h));
+        wh.push(net.weight(format!("l{l}/wh"), h * 4 * h));
+    }
+
+    // Embedding layer: one per-timestep input slice each (a timestep only
+    // reads its own tokens' rows, not the whole embedded batch).
+    net.b.begin_layer("emb/fwd");
+    let x_slices: Vec<TensorId> = (0..t_steps)
+        .map(|t| net.act(format!("emb/x{t}"), b * h))
+        .collect();
+    {
+        let mut op = net.b.op("emb/lookup", OpKind::Embedding, 2 * b * t_steps * h).reads(&[ids, emb_w]);
+        for &x in &x_slices {
+            op = op.writes(&[x]);
+        }
+        op.push();
+    }
+
+    // Forward timesteps. Each timestep is one migration-interval layer.
+    let cell_flops = 2 * b * h * 4 * h * 2; // Wx·x + Wh·h per LSTM layer
+    let proj_flops = 2 * b * h * vocab;
+    let mut saved_h: Vec<Vec<TensorId>> = vec![Vec::new(); nlayers]; // [layer][t]
+    let mut saved_c: Vec<Vec<TensorId>> = vec![Vec::new(); nlayers];
+    let mut saved_loss: Vec<TensorId> = Vec::new();
+    for t in 0..t_steps {
+        net.b.begin_layer(format!("t{t}/fwd"));
+        for l in 0..nlayers {
+            let name = format!("t{t}l{l}");
+            let gates = net.tmp(format!("{name}/gates"), b * 4 * h);
+            let mut op = net.b.op(format!("{name}/cell"), OpKind::LstmCell, cell_flops).reads(&[wx[l], wh[l]]);
+            if l == 0 {
+                op = op.reads(&[x_slices[t as usize]]);
+            } else {
+                let below = *saved_h[l - 1].last().expect("lower layer ran first");
+                op = op.reads(&[below]);
+            }
+            if t > 0 {
+                op = op.reads(&[saved_h[l][(t - 1) as usize], saved_c[l][(t - 1) as usize]]);
+            }
+            op.writes(&[gates]).push();
+            let h_t = net.act(format!("{name}/h"), b * h);
+            let c_t = net.act(format!("{name}/c"), b * h);
+            net.b.op(format!("{name}/state"), OpKind::Activation, 8 * b * h).reads(&[gates]).writes(&[h_t, c_t]).push();
+            saved_h[l].push(h_t);
+            saved_c[l].push(c_t);
+        }
+        // Chunked vocabulary projection + loss for this timestep.
+        let top = saved_h[nlayers - 1][t as usize];
+        let logits = net.tmp(format!("t{t}/logits"), b * vocab);
+        net.b.op(format!("t{t}/proj"), OpKind::MatMul, proj_flops).reads(&[top, proj_w]).writes(&[logits]).push();
+        let loss = net.act(format!("t{t}/loss"), b);
+        net.b.op(format!("t{t}/loss"), OpKind::Loss, 5 * b * vocab).reads(&[logits, ids]).writes(&[loss]).push();
+        saved_loss.push(loss);
+    }
+
+    // Gradient accumulators: written by every backward timestep — hot.
+    let mut dwx_acc = Vec::new();
+    let mut dwh_acc = Vec::new();
+    for l in 0..nlayers {
+        dwx_acc.push(net.wgrad(format!("l{l}/dwx_acc"), h * 4 * h));
+        dwh_acc.push(net.wgrad(format!("l{l}/dwh_acc"), h * 4 * h));
+    }
+    let dproj_acc = net.wgrad("proj/dw_acc", h * vocab);
+
+    // Backward timesteps in reverse order (BPTT).
+    let mut carry: Vec<Option<TensorId>> = vec![None; nlayers]; // d(h,c) flowing backwards
+    for t in (0..t_steps).rev() {
+        net.b.begin_layer(format!("t{t}/bwd"));
+        // Projection backward for this timestep (chunked).
+        let top = saved_h[nlayers - 1][t as usize];
+        let dlogits = net.tmp(format!("t{t}/dlogits"), b * vocab);
+        net.b
+            .op(format!("t{t}/dloss"), OpKind::Loss, 5 * b * vocab)
+            .reads(&[saved_loss[t as usize]])
+            .writes(&[dlogits])
+            .push();
+        let dh_proj = net.tmp(format!("t{t}/dh_proj"), b * h);
+        net.b
+            .op(format!("t{t}/dproj"), OpKind::MatMul, 2 * proj_flops)
+            .reads(&[dlogits, proj_w, top])
+            .writes(&[dh_proj, dproj_acc])
+            .push();
+
+        let mut above: Option<TensorId> = None;
+        for l in (0..nlayers).rev() {
+            let name = format!("t{t}l{l}");
+            let dgates = net.tmp(format!("{name}/dgates"), b * 4 * h);
+            let mut op = net
+                .b
+                .op(format!("{name}/dcell"), OpKind::LstmCell, cell_flops)
+                .reads(&[wh[l], saved_h[l][t as usize], saved_c[l][t as usize]]);
+            // Spatial gradient: from the projection for the top layer, from
+            // the layer above otherwise.
+            op = match above {
+                None => op.reads(&[dh_proj]),
+                Some(a) => op.reads(&[a]),
+            };
+            if let Some(c) = carry[l] {
+                op = op.reads(&[c]); // temporal gradient from t+1
+            }
+            op.writes(&[dgates]).push();
+            // Accumulate weight gradients (read-modify-write).
+            net.b
+                .op(format!("{name}/acc"), OpKind::MatMul, cell_flops)
+                .reads(&[dgates])
+                .writes(&[dwx_acc[l], dwh_acc[l]])
+                .push();
+            let dcarry = net.agrad(format!("{name}/dstate"), 2 * b * h);
+            net.b.op(format!("{name}/dstate"), OpKind::Activation, 8 * b * h).reads(&[dgates, wh[l]]).writes(&[dcarry]).push();
+            carry[l] = Some(dcarry);
+            above = Some(dcarry);
+        }
+    }
+
+    // Weight update from accumulators + embedding backward (Adam moments).
+    net.b.begin_layer("update");
+    for l in 0..nlayers {
+        let mx = net.moments(format!("l{l}/m_wx"), h * 4 * h);
+        let mh = net.moments(format!("l{l}/m_wh"), h * 4 * h);
+        net.b.op(format!("l{l}/upd_wx"), OpKind::WeightUpdate, 8 * h * 4 * h).reads(&[dwx_acc[l], mx]).writes(&[wx[l], mx]).push();
+        net.b.op(format!("l{l}/upd_wh"), OpKind::WeightUpdate, 8 * h * 4 * h).reads(&[dwh_acc[l], mh]).writes(&[wh[l], mh]).push();
+    }
+    let mp = net.moments("proj/m", h * vocab);
+    net.b.op("proj/update", OpKind::WeightUpdate, 8 * h * vocab).reads(&[dproj_acc, mp]).writes(&[proj_w, mp]).push();
+    let demb = net.wgrad("emb/dtable", vocab * h);
+    let last_carry = carry[0].expect("timesteps > 0");
+    net.b.op("emb/scatter", OpKind::Embedding, 2 * b * t_steps * h).reads(&[last_carry, ids]).writes(&[demb]).push();
+    let me = net.moments("emb/m", vocab * h);
+    net.b.op("emb/update", OpKind::WeightUpdate, 8 * vocab * h).reads(&[demb, me]).writes(&[emb_w, me]).push();
+
+    net.b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        build(&ModelSpec::lstm(4).with_scale(8), 1024, 6).unwrap()
+    }
+
+    #[test]
+    fn layer_count_matches_unrolling() {
+        let g = tiny();
+        // emb + 6 fwd + 6 bwd + update = 14.
+        assert_eq!(g.num_layers(), 14);
+    }
+
+    #[test]
+    fn recurrent_weights_are_referenced_every_timestep() {
+        let g = tiny();
+        let wh0 = g.tensors().iter().find(|t| t.name == "l0/wh").unwrap();
+        let mut refs = 0;
+        for layer in g.layers() {
+            for op in &layer.ops {
+                refs += op.referenced().filter(|&t| t == wh0.id).count();
+            }
+        }
+        // 6 forward + 2×6 backward references.
+        assert!(refs >= 12, "wh referenced only {refs} times");
+    }
+
+    #[test]
+    fn projection_weight_is_hot() {
+        let g = tiny();
+        let pw = g.tensors().iter().find(|t| t.name == "proj/w").unwrap();
+        let mut refs = 0;
+        for layer in g.layers() {
+            for op in &layer.ops {
+                refs += op.referenced().filter(|&t| t == pw.id).count();
+            }
+        }
+        // Referenced in every fwd and bwd timestep + update.
+        assert!(refs >= 13, "proj_w referenced only {refs} times");
+    }
+
+    #[test]
+    fn logits_are_short_lived_chunks() {
+        let g = tiny();
+        let logit_tensors: Vec<_> =
+            g.tensors().iter().filter(|t| t.name.ends_with("/logits")).collect();
+        assert_eq!(logit_tensors.len(), 6);
+        assert!(logit_tensors.iter().all(|t| t.is_short_lived()));
+    }
+
+    #[test]
+    fn gradient_accumulators_span_the_backward_pass() {
+        let g = tiny();
+        let acc = g.tensors().iter().find(|t| t.name == "l0/dwx_acc").unwrap();
+        assert!(!acc.is_short_lived());
+        assert!(acc.lifetime_layers() >= 6);
+    }
+
+    #[test]
+    fn hidden_states_are_saved_for_bptt() {
+        let g = tiny();
+        let h0 = g.tensors().iter().find(|t| t.name == "t0l0/h").unwrap();
+        // Written at fwd t0, read at bwd t0 (near the end) → long-lived.
+        assert!(h0.lifetime_layers() > 10);
+    }
+}

@@ -1,0 +1,153 @@
+//! MobileNet-v1 training-graph generator (depthwise-separable convolutions).
+
+use crate::net::Net;
+use crate::spec::ModelSpec;
+use sentinel_dnn::{Graph, GraphError, OpKind, TensorId};
+
+/// `(output channels, spatial resolution)` of the 13 separable blocks.
+const BLOCKS: [(u64, u64); 13] = [
+    (64, 112),
+    (128, 56),
+    (128, 56),
+    (256, 28),
+    (256, 28),
+    (512, 14),
+    (512, 14),
+    (512, 14),
+    (512, 14),
+    (512, 14),
+    (512, 14),
+    (1024, 7),
+    (1024, 7),
+];
+
+pub(crate) fn build(spec: &ModelSpec) -> Result<Graph, GraphError> {
+    let mut net = Net::new(spec.name(), spec.batch, spec.scale);
+    let b = u64::from(spec.batch);
+
+    let input = net.input("images", b * 3 * 224 * 224);
+    let stem_ch = net.dim(32);
+    let stem_w = net.weight("stem/w", 3 * 3 * 3 * stem_ch);
+    net.b.begin_layer("stem/fwd");
+    let pad = net.tmp("stem/pad", b * 3 * 224 * 224 / 8);
+    net.b.op("stem/pad", OpKind::Pad, b * 3 * 224 * 224 / 8).reads(&[input]).writes(&[pad]).push();
+    let stem_elems = b * stem_ch * 112 * 112;
+    let stem_out = net.act("stem/out", stem_elems);
+    net.b
+        .op("stem/conv", OpKind::Conv2d, 2 * 3 * 3 * 3 * stem_ch * 112 * 112 * b)
+        .reads_n(pad, 2)
+        .reads(&[stem_w])
+        .writes(&[stem_out])
+        .push();
+
+    struct Blk {
+        name: String,
+        x: TensorId,
+        x_elems: u64,
+        mid: TensorId,
+        out: TensorId,
+        dw_w: TensorId,
+        pw_w: TensorId,
+        dw_elems: u64,
+        pw_elems: u64,
+        mid_elems: u64,
+        flops: u64,
+    }
+    let mut blocks = Vec::new();
+    let mut x = stem_out;
+    let mut cin = stem_ch;
+    let mut x_elems = stem_elems;
+    for (i, &(cout_full, hw)) in BLOCKS.iter().enumerate() {
+        let cout = net.dim(cout_full);
+        let name = format!("sep{i}");
+        let dw_e = 3 * 3 * cin;
+        let pw_e = cin * cout;
+        let dw_w = net.weight(format!("{name}/dw_w"), dw_e);
+        let pw_w = net.weight(format!("{name}/pw_w"), pw_e);
+        let mid_elems = b * cin * hw * hw;
+        let out_elems = b * cout * hw * hw;
+        let dw_flops = 2 * 3 * 3 * cin * hw * hw * b;
+        let pw_flops = 2 * cin * cout * hw * hw * b;
+
+        net.b.begin_layer(format!("{name}/fwd"));
+        let padt = net.tmp(format!("{name}/pad"), (x_elems / 8).max(16));
+        net.b.op(format!("{name}/pad"), OpKind::Pad, x_elems / 8).reads(&[x]).writes(&[padt]).push();
+        let dwc = net.tmp(format!("{name}/dwc"), mid_elems);
+        net.b.op(format!("{name}/dw"), OpKind::DepthwiseConv2d, dw_flops).reads_n(x, 2).reads(&[dw_w, padt]).writes(&[dwc]).push();
+        let mid = net.act(format!("{name}/mid"), mid_elems);
+        net.b.op(format!("{name}/bnrelu1"), OpKind::BatchNorm, 9 * mid_elems).reads(&[dwc]).writes(&[mid]).push();
+        let pwc = net.tmp(format!("{name}/pwc"), out_elems);
+        net.b.op(format!("{name}/pw"), OpKind::Conv2d, pw_flops).reads_n(mid, 2).reads(&[pw_w]).writes(&[pwc]).push();
+        let out = net.act(format!("{name}/out"), out_elems);
+        net.b.op(format!("{name}/bnrelu2"), OpKind::BatchNorm, 9 * out_elems).reads(&[pwc]).writes(&[out]).push();
+
+        blocks.push(Blk { name, x, x_elems, mid, out, dw_w, pw_w, dw_elems: dw_e, pw_elems: pw_e, mid_elems, flops: dw_flops + pw_flops });
+        x = out;
+        cin = cout;
+        x_elems = out_elems;
+    }
+
+    // Head.
+    let classes = net.dim(1000).max(10);
+    let fc_w = net.weight("fc/w", cin * classes);
+    net.b.begin_layer("fc/fwd");
+    let pooled = net.tmp("fc/pool", b * cin);
+    net.b.op("fc/pool", OpKind::Pool, x_elems).reads(&[x]).writes(&[pooled]).push();
+    let logits = net.act("fc/logits", b * classes);
+    net.b.op("fc/matmul", OpKind::MatMul, 2 * b * cin * classes).reads(&[pooled, fc_w]).writes(&[logits]).push();
+    let loss = net.act("fc/loss", b);
+    net.b.op("fc/loss", OpKind::Loss, 5 * b * classes).reads(&[logits]).writes(&[loss]).push();
+
+    // Backward.
+    net.b.begin_layer("fc/bwd");
+    let mut dx = net.agrad("fc/dx", x_elems);
+    let dfc = net.wgrad("fc/dw", cin * classes);
+    net.b.op("fc/bwd", OpKind::MatMul, 4 * b * cin * classes).reads(&[loss, logits, fc_w]).writes(&[dx, dfc]).push();
+    net.b.op("fc/update", OpKind::WeightUpdate, 2 * cin * classes).reads(&[dfc]).writes(&[fc_w]).push();
+
+    for blk in blocks.iter().rev() {
+        net.b.begin_layer(format!("{}/bwd", blk.name));
+        let dmid = net
+            .backward_transform(&format!("{}/pw", blk.name), OpKind::Conv2d, blk.flops, blk.pw_w, blk.mid, dx, blk.mid_elems, blk.pw_elems)
+            .expect("pointwise backward");
+        dx = net
+            .backward_transform(&format!("{}/dw", blk.name), OpKind::DepthwiseConv2d, blk.flops / 4, blk.dw_w, blk.x, dmid, blk.x_elems, blk.dw_elems)
+            .expect("depthwise backward");
+        let _ = blk.out;
+    }
+
+    net.b.begin_layer("stem/bwd");
+    let dstem = net.wgrad("stem/dw", 3 * 3 * 3 * stem_ch);
+    net.b.op("stem/bwd_dw", OpKind::Conv2d, 2 * 3 * 3 * 3 * stem_ch * 112 * 112 * b).reads(&[input, dx]).writes(&[dstem]).push();
+    net.b.op("stem/update", OpKind::WeightUpdate, 2 * 3 * 3 * 3 * stem_ch).reads(&[dstem]).writes(&[stem_w]).push();
+
+    net.b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_layers() {
+        let g = build(&ModelSpec::mobilenet(2).with_scale(8)).unwrap();
+        // stem + 13 blocks + fc, both directions: 2*15 = 30.
+        assert_eq!(g.num_layers(), 30);
+    }
+
+    #[test]
+    fn weights_are_small_activations_large() {
+        let g = build(&ModelSpec::mobilenet(8).with_scale(4)).unwrap();
+        let dw = g.tensors().iter().find(|t| t.name == "sep0/dw_w").unwrap();
+        let act = g.tensors().iter().find(|t| t.name == "sep0/out").unwrap();
+        assert!(dw.bytes < act.bytes / 10, "depthwise weights should be tiny");
+    }
+
+    #[test]
+    fn early_blocks_have_bigger_activations() {
+        let g = build(&ModelSpec::mobilenet(8).with_scale(4)).unwrap();
+        let first = g.tensors().iter().find(|t| t.name == "sep0/out").unwrap();
+        let last = g.tensors().iter().find(|t| t.name == "sep12/out").unwrap();
+        assert!(first.bytes > last.bytes);
+    }
+}

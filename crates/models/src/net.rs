@@ -1,0 +1,113 @@
+//! Shared graph-construction helpers for the model zoo.
+
+use sentinel_dnn::{GraphBuilder, OpKind, TensorId, TensorKind};
+
+/// Bytes per element (FP32, the paper's default precision).
+pub(crate) const F32: u64 = 4;
+
+/// A thin wrapper over [`GraphBuilder`] with tensor-role shortcuts and the
+/// forward/backward bookkeeping all model generators share.
+pub(crate) struct Net {
+    pub b: GraphBuilder,
+    scale: u64,
+}
+
+impl Net {
+    pub fn new(name: String, batch: u32, scale: u32) -> Self {
+        Net { b: GraphBuilder::new(name, batch as usize), scale: u64::from(scale.max(1)) }
+    }
+
+    /// Scale a channel/hidden dimension down by the spec's divisor.
+    pub fn dim(&self, d: u64) -> u64 {
+        (d / self.scale).max(1)
+    }
+
+    /// Bytes for `elems` FP32 elements (at least one cache line).
+    pub fn bytes(&self, elems: u64) -> u64 {
+        (elems * F32).max(64)
+    }
+
+    pub fn weight(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::Weight)
+    }
+
+    /// Adam-style optimizer moments for a weight: 2× its size, preallocated,
+    /// touched only by the update op — the archetypal large *cold* tensor.
+    pub fn moments(&mut self, name: impl Into<String>, w_elems: u64) -> TensorId {
+        let bytes = self.bytes(2 * w_elems);
+        self.b.tensor(name, bytes, TensorKind::OptimizerState)
+    }
+
+    pub fn input(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::Input)
+    }
+
+    /// Long-lived activation saved for the backward pass.
+    pub fn act(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::Activation)
+    }
+
+    /// Short-lived op-internal scratch.
+    pub fn tmp(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::Temporary)
+    }
+
+    /// Gradient w.r.t. an activation (flows between adjacent backward layers).
+    pub fn agrad(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::ActivationGrad)
+    }
+
+    /// Gradient w.r.t. a weight (consumed by the update in the same layer).
+    pub fn wgrad(&mut self, name: impl Into<String>, elems: u64) -> TensorId {
+        let bytes = self.bytes(elems);
+        self.b.tensor(name, bytes, TensorKind::WeightGrad)
+    }
+
+    /// Emit the canonical backward ops for a weighted transform:
+    /// `d_in = f'(w, act, d_out)`, `dw = g(act, d_out)`, `w -= lr*dw`.
+    ///
+    /// `elems_in` sizes the produced input-gradient; pass 0 to skip it (first
+    /// layer). Returns the input-gradient tensor if produced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_transform(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        flops: u64,
+        w: TensorId,
+        saved_act: TensorId,
+        d_out: TensorId,
+        elems_in: u64,
+        w_elems: u64,
+    ) -> Option<TensorId> {
+        let dw = self.wgrad(format!("{name}/dw"), w_elems);
+        self.b
+            .op(format!("{name}/bwd_dw"), kind, flops / 2)
+            .reads(&[saved_act, d_out])
+            .writes(&[dw])
+            .push();
+        let d_in = if elems_in > 0 {
+            let d_in = self.agrad(format!("{name}/dx"), elems_in);
+            self.b
+                .op(format!("{name}/bwd_dx"), kind, flops / 2)
+                .reads(&[w, d_out])
+                .writes(&[d_in])
+                .push();
+            Some(d_in)
+        } else {
+            None
+        };
+        let m = self.moments(format!("{name}/m"), w_elems);
+        self.b
+            .op(format!("{name}/update"), OpKind::WeightUpdate, 8 * w_elems)
+            .reads(&[dw, m])
+            .writes(&[w, m])
+            .push();
+        d_in
+    }
+}

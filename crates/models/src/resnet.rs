@@ -1,0 +1,335 @@
+//! ResNet training-graph generator (CIFAR and ImageNet topologies).
+
+use crate::net::Net;
+use crate::spec::ModelSpec;
+use sentinel_dnn::{Graph, GraphError, OpKind, TensorId};
+
+/// One convolution stage description.
+struct Stage {
+    blocks: u32,
+    /// Output channels of the stage.
+    ch: u64,
+    /// Spatial resolution (height == width) of the stage.
+    hw: u64,
+}
+
+/// Build a ResNet training graph (forward + backward + updates).
+pub(crate) fn build(spec: &ModelSpec, depth: u32) -> Result<Graph, GraphError> {
+    let mut net = Net::new(spec.name(), spec.batch, spec.scale);
+    let batch = u64::from(spec.batch);
+
+    let (stages, bottleneck, stem_hw, stem_ch) = topology(depth, &net);
+
+    // Input batch and stem.
+    let in_elems = batch * 3 * stem_hw * stem_hw;
+    let input = net.input("images", in_elems);
+    let stem_w = net.weight("stem/w", 3 * 3 * 3 * stem_ch);
+    let stem_elems = batch * stem_ch * stem_hw * stem_hw;
+
+    net.b.begin_layer("stem/fwd");
+    let stem_pad = net.tmp("stem/pad", (in_elems / 8).max(16));
+    net.b.op("stem/pad", OpKind::Pad, in_elems / 8).reads(&[input]).writes(&[stem_pad]).push();
+    let stem_out = net.act("stem/out", stem_elems);
+    net.b
+        .op("stem/conv", OpKind::Conv2d, 2 * 3 * 3 * 3 * stem_ch * stem_hw * stem_hw * batch)
+        .reads_n(stem_pad, 2)
+        .reads(&[stem_w])
+        .writes(&[stem_out])
+        .push();
+
+    // Forward blocks.
+    let mut fwd = Vec::new(); // per-block saved state for backward
+    let mut x = stem_out;
+    let mut x_elems = stem_elems;
+    for (si, stage) in stages.iter().enumerate() {
+        for bi in 0..stage.blocks {
+            let name = format!("s{si}b{bi}");
+            let out_elems = batch * stage.ch * stage.hw * stage.hw;
+            let block = if bottleneck {
+                bottleneck_fwd(&mut net, &name, x, x_elems, stage, out_elems, batch)
+            } else {
+                basic_fwd(&mut net, &name, x, x_elems, stage, out_elems, batch)
+            };
+            x = block.out;
+            fwd.push((block, x_elems));
+            x_elems = out_elems;
+        }
+    }
+
+    // Classifier head + loss.
+    let classes = net.dim(1000).max(10);
+    let fc_w = net.weight("fc/w", x_elems / batch * classes);
+    net.b.begin_layer("fc/fwd");
+    let logits = net.act("fc/logits", batch * classes);
+    net.b
+        .op("fc/matmul", OpKind::MatMul, 2 * x_elems * classes)
+        .reads(&[x, fc_w])
+        .writes(&[logits])
+        .push();
+    let probs = net.tmp("fc/probs", batch * classes);
+    net.b.op("fc/softmax", OpKind::Softmax, 5 * batch * classes).reads(&[logits]).writes(&[probs]).push();
+    let loss = net.tmp("fc/loss", batch);
+    net.b.op("fc/loss", OpKind::Loss, batch * classes).reads(&[probs]).writes(&[loss]).push();
+
+    // Backward: head first.
+    net.b.begin_layer("fc/bwd");
+    let d_logits = net.agrad("fc/dlogits", batch * classes);
+    net.b.op("fc/dsoftmax", OpKind::Softmax, 5 * batch * classes).reads(&[loss, logits]).writes(&[d_logits]).push();
+    let mut d_x = net
+        .backward_transform("fc", OpKind::MatMul, 4 * x_elems * classes, fc_w, x, d_logits, x_elems, x_elems / batch * classes)
+        .expect("fc produces an input gradient");
+
+    // Backward blocks in reverse.
+    for (block, in_elems) in fwd.iter().rev() {
+        d_x = if bottleneck {
+            bottleneck_bwd(&mut net, block, d_x, *in_elems, batch)
+        } else {
+            basic_bwd(&mut net, block, d_x, *in_elems, batch)
+        };
+    }
+
+    // Stem backward (no input gradient needed).
+    net.b.begin_layer("stem/bwd");
+    let stem_dw = net.wgrad("stem/dw", 3 * 3 * 3 * stem_ch);
+    net.b
+        .op("stem/bwd_dw", OpKind::Conv2d, 2 * 3 * 3 * 3 * stem_ch * stem_hw * stem_hw * batch)
+        .reads(&[input, d_x])
+        .writes(&[stem_dw])
+        .push();
+    net.b.op("stem/update", OpKind::WeightUpdate, 2 * 3 * 3 * 3 * stem_ch).reads(&[stem_dw]).writes(&[stem_w]).push();
+
+    net.b.finish()
+}
+
+/// Saved forward state of one residual block.
+struct Block {
+    name: String,
+    /// Block input (previous block's output) — read again by backward.
+    x: TensorId,
+    /// Saved mid-block activation(s).
+    mids: Vec<TensorId>,
+    /// Block output activation.
+    out: TensorId,
+    /// Conv weights in order.
+    weights: Vec<TensorId>,
+    /// Elements of the output feature map.
+    out_elems: u64,
+    /// Per-conv weight element counts.
+    w_elems: Vec<u64>,
+    /// FLOPs of the whole block's forward pass.
+    flops: u64,
+}
+
+/// Basic 3×3 + 3×3 residual block (CIFAR topology).
+fn basic_fwd(net: &mut Net, name: &str, x: TensorId, x_elems: u64, stage: &Stage, out_elems: u64, batch: u64) -> Block {
+    let ch = stage.ch;
+    let hw = stage.hw;
+    let w1e = 3 * 3 * ch * ch;
+    let w2e = 3 * 3 * ch * ch;
+    let w1 = net.weight(format!("{name}/w1"), w1e);
+    let w2 = net.weight(format!("{name}/w2"), w2e);
+    let bn1 = net.weight(format!("{name}/bn1"), 2 * ch);
+    let bn2 = net.weight(format!("{name}/bn2"), 2 * ch);
+    let conv_flops = 2 * 3 * 3 * ch * ch * hw * hw * batch;
+
+    net.b.begin_layer(format!("{name}/fwd"));
+    // Padding is implicit (cuDNN-style): only a small border workspace.
+    let pad1 = net.tmp(format!("{name}/pad1"), (x_elems / 8).max(16));
+    net.b.op(format!("{name}/pad1"), OpKind::Pad, x_elems / 8).reads(&[x]).writes(&[pad1]).push();
+    let c1 = net.tmp(format!("{name}/c1"), out_elems);
+    net.b.op(format!("{name}/conv1"), OpKind::Conv2d, conv_flops).reads_n(x, 2).reads(&[w1, pad1]).writes(&[c1]).push();
+    // Fused bn+relu: the conv output is normalized into the saved activation.
+    let a1 = net.act(format!("{name}/a1"), out_elems);
+    net.b.op(format!("{name}/bnrelu1"), OpKind::BatchNorm, 9 * out_elems).reads(&[c1, bn1]).writes(&[a1]).push();
+
+    let pad2 = net.tmp(format!("{name}/pad2"), (out_elems / 8).max(16));
+    net.b.op(format!("{name}/pad2"), OpKind::Pad, out_elems / 8).reads(&[a1]).writes(&[pad2]).push();
+    let c2 = net.tmp(format!("{name}/c2"), out_elems);
+    net.b.op(format!("{name}/conv2"), OpKind::Conv2d, conv_flops).reads_n(a1, 2).reads(&[w2, pad2]).writes(&[c2]).push();
+    let b2 = net.tmp(format!("{name}/b2"), out_elems);
+    net.b.op(format!("{name}/bn2"), OpKind::BatchNorm, 8 * out_elems).reads(&[c2, bn2]).writes(&[b2]).push();
+    // Fused residual add + relu.
+    let out = net.act(format!("{name}/out"), out_elems);
+    net.b.op(format!("{name}/addrelu"), OpKind::Add, 2 * out_elems).reads(&[b2, x]).writes(&[out]).push();
+
+    Block {
+        name: name.to_owned(),
+        x,
+        mids: vec![a1],
+        out,
+        weights: vec![w1, w2],
+        out_elems,
+        w_elems: vec![w1e, w2e],
+        flops: 2 * conv_flops,
+    }
+}
+
+fn basic_bwd(net: &mut Net, block: &Block, d_out: TensorId, in_elems: u64, _batch: u64) -> TensorId {
+    net.b.begin_layer(format!("{}/bwd", block.name));
+    let e = block.out_elems;
+    let a1 = block.mids[0];
+    let ds = net.tmp(format!("{}/ds", block.name), e);
+    net.b.op(format!("{}/drelu2", block.name), OpKind::Activation, e).reads(&[d_out, block.out]).writes(&[ds]).push();
+    let d_a1 = net
+        .backward_transform(&format!("{}/conv2", block.name), OpKind::Conv2d, block.flops / 2, block.weights[1], a1, ds, e, block.w_elems[1])
+        .expect("conv2 backward produces gradient");
+    let db = net.tmp(format!("{}/db", block.name), e);
+    net.b.op(format!("{}/drelu1", block.name), OpKind::Activation, e).reads(&[d_a1, a1]).writes(&[db]).push();
+    net.backward_transform(&format!("{}/conv1", block.name), OpKind::Conv2d, block.flops / 2, block.weights[0], block.x, db, in_elems, block.w_elems[0])
+        .expect("conv1 backward produces gradient")
+}
+
+/// Bottleneck 1×1 → 3×3 → 1×1 block (ImageNet topology).
+fn bottleneck_fwd(net: &mut Net, name: &str, x: TensorId, x_elems: u64, stage: &Stage, out_elems: u64, batch: u64) -> Block {
+    let ch = stage.ch;
+    let mid = (ch / 4).max(1);
+    let hw = stage.hw;
+    let w1e = ch * mid; // 1x1 reduce
+    let w2e = 3 * 3 * mid * mid;
+    let w3e = mid * ch; // 1x1 expand
+    let w1 = net.weight(format!("{name}/w1"), w1e);
+    let w2 = net.weight(format!("{name}/w2"), w2e);
+    let w3 = net.weight(format!("{name}/w3"), w3e);
+    let mid_elems = batch * mid * hw * hw;
+    let f1 = 2 * ch * mid * hw * hw * batch;
+    let f2 = 2 * 3 * 3 * mid * mid * hw * hw * batch;
+    let f3 = 2 * mid * ch * hw * hw * batch;
+
+    net.b.begin_layer(format!("{name}/fwd"));
+    let c1 = net.tmp(format!("{name}/c1"), mid_elems);
+    net.b.op(format!("{name}/conv1"), OpKind::Conv2d, f1).reads_n(x, 2).reads(&[w1]).writes(&[c1]).push();
+    let a1 = net.act(format!("{name}/a1"), mid_elems);
+    net.b.op(format!("{name}/bnrelu1"), OpKind::BatchNorm, 9 * mid_elems).reads(&[c1]).writes(&[a1]).push();
+    let pad = net.tmp(format!("{name}/pad"), (mid_elems / 8).max(16));
+    net.b.op(format!("{name}/pad"), OpKind::Pad, mid_elems / 8).reads(&[a1]).writes(&[pad]).push();
+    let c2 = net.tmp(format!("{name}/c2"), mid_elems);
+    net.b.op(format!("{name}/conv2"), OpKind::Conv2d, f2).reads_n(pad, 2).reads(&[w2]).writes(&[c2]).push();
+    let a2 = net.act(format!("{name}/a2"), mid_elems);
+    net.b.op(format!("{name}/bnrelu2"), OpKind::BatchNorm, 9 * mid_elems).reads(&[c2]).writes(&[a2]).push();
+    let c3 = net.tmp(format!("{name}/c3"), out_elems);
+    net.b.op(format!("{name}/conv3"), OpKind::Conv2d, f3).reads_n(a2, 2).reads(&[w3]).writes(&[c3]).push();
+    let s = net.tmp(format!("{name}/sum"), out_elems);
+    net.b.op(format!("{name}/add"), OpKind::Add, out_elems).reads(&[c3, x]).writes(&[s]).push();
+    let out = net.act(format!("{name}/out"), out_elems);
+    net.b.op(format!("{name}/relu"), OpKind::Activation, out_elems).reads(&[s]).writes(&[out]).push();
+
+    let _ = x_elems;
+    Block {
+        name: name.to_owned(),
+        x,
+        mids: vec![a1, a2],
+        out,
+        weights: vec![w1, w2, w3],
+        out_elems,
+        w_elems: vec![w1e, w2e, w3e],
+        flops: f1 + f2 + f3,
+    }
+}
+
+fn bottleneck_bwd(net: &mut Net, block: &Block, d_out: TensorId, in_elems: u64, _batch: u64) -> TensorId {
+    net.b.begin_layer(format!("{}/bwd", block.name));
+    let e = block.out_elems;
+    let mid_elems = {
+        // a2's element count equals mid feature map; recover from saved act size.
+        e / 4
+    };
+    let a1 = block.mids[0];
+    let a2 = block.mids[1];
+    let ds = net.tmp(format!("{}/ds", block.name), e);
+    net.b.op(format!("{}/drelu", block.name), OpKind::Activation, e).reads(&[d_out, block.out]).writes(&[ds]).push();
+    let d_a2 = net
+        .backward_transform(&format!("{}/conv3", block.name), OpKind::Conv2d, block.flops / 3, block.weights[2], a2, ds, mid_elems.max(1), block.w_elems[2])
+        .expect("conv3 backward");
+    let d_a1 = net
+        .backward_transform(&format!("{}/conv2", block.name), OpKind::Conv2d, block.flops / 3, block.weights[1], a1, d_a2, mid_elems.max(1), block.w_elems[1])
+        .expect("conv2 backward");
+    net.backward_transform(&format!("{}/conv1", block.name), OpKind::Conv2d, block.flops / 3, block.weights[0], block.x, d_a1, in_elems, block.w_elems[0])
+        .expect("conv1 backward")
+}
+
+/// Stage layout per depth; returns `(stages, bottleneck?, input hw, stem ch)`.
+fn topology(depth: u32, net: &Net) -> (Vec<Stage>, bool, u64, u64) {
+    match depth {
+        // ImageNet bottleneck family (checked first: 50 is also ≡ 2 mod 6).
+        50 => (imagenet_stages(net, [3, 4, 6, 3]), true, 56, net.dim(64)),
+        101 => (imagenet_stages(net, [3, 4, 23, 3]), true, 56, net.dim(64)),
+        152 => (imagenet_stages(net, [3, 8, 36, 3]), true, 56, net.dim(64)),
+        200 => (imagenet_stages(net, [3, 24, 36, 3]), true, 56, net.dim(64)),
+        // CIFAR family: depth = 6n+2, three stages at 32/16/8 resolution.
+        d if d % 6 == 2 && d <= 110 => {
+            let n = (d - 2) / 6;
+            let stages = vec![
+                Stage { blocks: n, ch: net.dim(16), hw: 32 },
+                Stage { blocks: n, ch: net.dim(32), hw: 16 },
+                Stage { blocks: n, ch: net.dim(64), hw: 8 },
+            ];
+            (stages, false, 32, net.dim(16))
+        }
+        // Fallback: treat as CIFAR-style with n ≈ depth/6 blocks.
+        d => {
+            let n = (d / 6).max(1);
+            let stages = vec![
+                Stage { blocks: n, ch: net.dim(16), hw: 32 },
+                Stage { blocks: n, ch: net.dim(32), hw: 16 },
+                Stage { blocks: n, ch: net.dim(64), hw: 8 },
+            ];
+            (stages, false, 32, net.dim(16))
+        }
+    }
+}
+
+fn imagenet_stages(net: &Net, blocks: [u32; 4]) -> Vec<Stage> {
+    vec![
+        Stage { blocks: blocks[0], ch: net.dim(256), hw: 56 },
+        Stage { blocks: blocks[1], ch: net.dim(512), hw: 28 },
+        Stage { blocks: blocks[2], ch: net.dim(1024), hw: 14 },
+        Stage { blocks: blocks[3], ch: net.dim(2048), hw: 7 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet32_builds_and_has_expected_layer_count() {
+        let g = build(&ModelSpec::resnet(32, 8).with_scale(4), 32).unwrap();
+        // stem + 15 blocks + fc, forward and backward: 2*(1+15+1) = 34 layers.
+        assert_eq!(g.num_layers(), 34);
+        assert!(g.peak_live_bytes() > 0);
+    }
+
+    #[test]
+    fn resnet50_uses_bottleneck_topology() {
+        let g = build(&ModelSpec::resnet(50, 2).with_scale(8), 50).unwrap();
+        // stem + 16 blocks + fc → 36 layers.
+        assert_eq!(g.num_layers(), 36);
+    }
+
+    #[test]
+    fn short_lived_tensors_dominate_count() {
+        let g = build(&ModelSpec::resnet(32, 8).with_scale(4), 32).unwrap();
+        let short = g.tensors().iter().filter(|t| t.is_short_lived()).count();
+        let frac = short as f64 / g.num_tensors() as f64;
+        assert!(frac > 0.5, "short-lived fraction {frac} too low");
+    }
+
+    #[test]
+    fn activations_span_forward_to_backward() {
+        let g = build(&ModelSpec::resnet(32, 8).with_scale(4), 32).unwrap();
+        let long = g
+            .tensors()
+            .iter()
+            .filter(|t| !t.preallocated() && t.lifetime_layers() > 2)
+            .count();
+        assert!(long > 10, "expected many long-lived activations, got {long}");
+    }
+
+    #[test]
+    fn deeper_resnets_are_bigger() {
+        let g32 = build(&ModelSpec::resnet(32, 4).with_scale(4), 32).unwrap();
+        let g56 = build(&ModelSpec::resnet(56, 4).with_scale(4), 56).unwrap();
+        assert!(g56.peak_live_bytes() > g32.peak_live_bytes());
+        assert!(g56.total_flops() > g32.total_flops());
+    }
+}

@@ -1,0 +1,162 @@
+//! Model specifications: family, depth/size parameters, batch and scale.
+
+use serde::{Deserialize, Serialize};
+
+/// The five model families evaluated in the paper (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// ResNet image classifier. CIFAR-style topology for depths
+    /// `20/32/44/56/110` (6n+2), ImageNet bottleneck topology for
+    /// `50/101/152/200`.
+    ResNet {
+        /// Network depth.
+        depth: u32,
+    },
+    /// BERT transformer encoder.
+    Bert {
+        /// Number of transformer blocks.
+        layers: u32,
+        /// Hidden dimension.
+        hidden: u32,
+        /// Sequence length.
+        seq: u32,
+    },
+    /// Multi-layer LSTM language model (unrolled over time).
+    Lstm {
+        /// Hidden state width.
+        hidden: u32,
+        /// Unrolled timesteps.
+        timesteps: u32,
+    },
+    /// MobileNet-v1 with depthwise separable convolutions.
+    MobileNet,
+    /// DCGAN: generator + discriminator trained jointly.
+    Dcgan,
+}
+
+/// A concrete model instantiation: family + batch size + optional scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Which network.
+    pub family: ModelFamily,
+    /// Training batch size.
+    pub batch: u32,
+    /// Divisor applied to channel/hidden widths — used to shrink models for
+    /// fast tests while preserving the tensor-population *shape*. `1` means
+    /// full size.
+    pub scale: u32,
+}
+
+impl ModelSpec {
+    /// ResNet of the given depth.
+    #[must_use]
+    pub fn resnet(depth: u32, batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::ResNet { depth }, batch, scale: 1 }
+    }
+
+    /// BERT-base: 12 layers, hidden 768, sequence length 128.
+    #[must_use]
+    pub fn bert_base(batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::Bert { layers: 12, hidden: 768, seq: 128 }, batch, scale: 1 }
+    }
+
+    /// BERT-large: 24 layers, hidden 1024, sequence length 384.
+    #[must_use]
+    pub fn bert_large(batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::Bert { layers: 24, hidden: 1024, seq: 384 }, batch, scale: 1 }
+    }
+
+    /// A 2-layer LSTM language model, hidden 1024, 25 unrolled timesteps.
+    #[must_use]
+    pub fn lstm(batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::Lstm { hidden: 1024, timesteps: 25 }, batch, scale: 1 }
+    }
+
+    /// MobileNet-v1.
+    #[must_use]
+    pub fn mobilenet(batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::MobileNet, batch, scale: 1 }
+    }
+
+    /// DCGAN (64×64 images).
+    #[must_use]
+    pub fn dcgan(batch: u32) -> Self {
+        ModelSpec { family: ModelFamily::Dcgan, batch, scale: 1 }
+    }
+
+    /// Divide channel/hidden widths by `scale` (for fast tests).
+    #[must_use]
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Canonical model name, e.g. `"resnet32"` or `"bert-large"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let base = match self.family {
+            ModelFamily::ResNet { depth } => format!("resnet{depth}"),
+            ModelFamily::Bert { layers: 24, .. } => "bert-large".to_owned(),
+            ModelFamily::Bert { .. } => "bert-base".to_owned(),
+            ModelFamily::Lstm { .. } => "lstm".to_owned(),
+            ModelFamily::MobileNet => "mobilenet".to_owned(),
+            ModelFamily::Dcgan => "dcgan".to_owned(),
+        };
+        if self.scale > 1 {
+            format!("{base}@1/{}", self.scale)
+        } else {
+            base
+        }
+    }
+
+    /// The paper's small-batch evaluation set (Figure 7 / Table III).
+    #[must_use]
+    pub fn paper_small_batch() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::resnet(32, 32),
+            ModelSpec::bert_base(8),
+            ModelSpec::lstm(32),
+            ModelSpec::mobilenet(32),
+            ModelSpec::dcgan(32),
+        ]
+    }
+
+    /// The paper's large-batch evaluation set (Figure 8).
+    #[must_use]
+    pub fn paper_large_batch() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::resnet(200, 32),
+            ModelSpec::bert_large(16),
+            ModelSpec::lstm(256),
+            ModelSpec::mobilenet(256),
+            ModelSpec::dcgan(256),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_canonical() {
+        assert_eq!(ModelSpec::resnet(32, 32).name(), "resnet32");
+        assert_eq!(ModelSpec::bert_base(8).name(), "bert-base");
+        assert_eq!(ModelSpec::bert_large(8).name(), "bert-large");
+        assert_eq!(ModelSpec::lstm(32).name(), "lstm");
+        assert_eq!(ModelSpec::mobilenet(4).name(), "mobilenet");
+        assert_eq!(ModelSpec::dcgan(4).name(), "dcgan");
+        assert_eq!(ModelSpec::resnet(32, 32).with_scale(4).name(), "resnet32@1/4");
+    }
+
+    #[test]
+    fn scale_floors_at_one() {
+        assert_eq!(ModelSpec::lstm(1).with_scale(0).scale, 1);
+    }
+
+    #[test]
+    fn paper_sets_have_five_models() {
+        assert_eq!(ModelSpec::paper_small_batch().len(), 5);
+        assert_eq!(ModelSpec::paper_large_batch().len(), 5);
+    }
+}

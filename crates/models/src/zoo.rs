@@ -1,0 +1,94 @@
+//! The model zoo: dispatch from [`ModelSpec`] to graph generators.
+
+use crate::spec::{ModelFamily, ModelSpec};
+use crate::{bert, dcgan, lstm, mobilenet, resnet};
+use sentinel_dnn::{Graph, GraphError};
+
+/// Builds training graphs for every model family of the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelZoo;
+
+impl ModelZoo {
+    /// Build the training graph for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the generated graph is malformed (this
+    /// indicates a bug in a generator and is covered by tests).
+    ///
+    /// ```
+    /// use sentinel_models::{ModelSpec, ModelZoo};
+    ///
+    /// # fn main() -> Result<(), sentinel_dnn::GraphError> {
+    /// let graph = ModelZoo::build(&ModelSpec::resnet(20, 8).with_scale(4))?;
+    /// assert!(graph.num_layers() > 10);
+    /// assert!(graph.peak_live_bytes() > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(spec: &ModelSpec) -> Result<Graph, GraphError> {
+        match spec.family {
+            ModelFamily::ResNet { depth } => resnet::build(spec, depth),
+            ModelFamily::Bert { layers, hidden, seq } => bert::build(spec, layers, hidden, seq),
+            ModelFamily::Lstm { hidden, timesteps } => lstm::build(spec, hidden, timesteps),
+            ModelFamily::MobileNet => mobilenet::build(spec),
+            ModelFamily::Dcgan => dcgan::build(spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_scaled_specs() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::resnet(32, 4).with_scale(4),
+            ModelSpec::resnet(50, 2).with_scale(8),
+            ModelSpec::bert_base(2).with_scale(8),
+            ModelSpec::lstm(4).with_scale(8),
+            ModelSpec::mobilenet(2).with_scale(8),
+            ModelSpec::dcgan(2).with_scale(8),
+        ]
+    }
+
+    #[test]
+    fn every_family_builds_a_valid_graph() {
+        for spec in all_scaled_specs() {
+            let g = ModelZoo::build(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert!(g.num_layers() >= 4, "{}", spec.name());
+            assert!(g.num_tensors() > 10, "{}", spec.name());
+            assert!(g.peak_live_bytes() > 0, "{}", spec.name());
+            assert!(g.total_flops() > 0, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn observation1_shape_holds_for_every_model() {
+        // Observation 1: a large number of small, short-lived tensors.
+        for spec in all_scaled_specs() {
+            let g = ModelZoo::build(&spec).unwrap();
+            let short = g.tensors().iter().filter(|t| t.is_short_lived()).count();
+            let frac = short as f64 / g.num_tensors() as f64;
+            assert!(frac > 0.35, "{}: short-lived fraction {frac:.2} too low", spec.name());
+        }
+    }
+
+    #[test]
+    fn short_lived_peak_is_small_fraction_of_total_peak() {
+        for spec in all_scaled_specs() {
+            let g = ModelZoo::build(&spec).unwrap();
+            let ratio = g.peak_short_lived_bytes() as f64 / g.peak_live_bytes() as f64;
+            assert!(ratio < 0.8, "{}: short-lived peak ratio {ratio:.2}", spec.name());
+        }
+    }
+
+    #[test]
+    fn batch_scales_peak_memory() {
+        // Activations scale with batch; weights and optimizer state do not,
+        // so the ratio is sublinear but still clearly increasing.
+        let small = ModelZoo::build(&ModelSpec::resnet(32, 4).with_scale(4)).unwrap();
+        let large = ModelZoo::build(&ModelSpec::resnet(32, 16).with_scale(4)).unwrap();
+        assert!(large.peak_live_bytes() as f64 > 1.5 * small.peak_live_bytes() as f64);
+    }
+}

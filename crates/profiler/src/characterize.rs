@@ -1,0 +1,134 @@
+//! Workload characterization: the statistics behind Observations 1–3.
+
+use crate::profile::ProfileReport;
+use sentinel_dnn::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One hotness bucket of the access-count histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotBucket {
+    /// Human-readable label, e.g. `"1-10"`.
+    pub label: String,
+    /// Inclusive access-count range `[min, max]`.
+    pub min_accesses: u64,
+    /// Inclusive upper bound.
+    pub max_accesses: u64,
+    /// Tensors in the bucket.
+    pub tensor_count: usize,
+    /// Total bytes of those tensors.
+    pub bytes: u64,
+}
+
+/// Aggregate characterization of one model's tensor population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Model name.
+    pub model: String,
+    /// Total tensors in the graph.
+    pub total_tensors: usize,
+    /// Fraction of tensors smaller than one page (Observation 1).
+    pub small_fraction: f64,
+    /// Fraction of tensors with single-layer lifetime (Observation 1).
+    pub short_lived_fraction: f64,
+    /// Among short-lived tensors, the fraction that are also small.
+    pub small_among_short_fraction: f64,
+    /// Peak live bytes of the model.
+    pub peak_bytes: u64,
+    /// Peak bytes of short-lived tensors in any layer.
+    pub peak_short_lived_bytes: u64,
+    /// Access-count histogram (Observation 2).
+    pub hotness: Vec<HotBucket>,
+}
+
+/// Build the characterization from a graph and its profile.
+#[must_use]
+pub fn characterize(graph: &Graph, profile: &ProfileReport) -> Characterization {
+    let page = profile.page_size;
+    let total = graph.num_tensors();
+    let small = profile.tensors.iter().filter(|t| t.is_small(page)).count();
+    let short: Vec<_> = profile.tensors.iter().filter(|t| t.short_lived).collect();
+    let small_among_short = short.iter().filter(|t| t.is_small(page)).count();
+
+    let edges: [(u64, u64, &str); 4] =
+        [(0, 0, "0"), (1, 10, "1-10"), (11, 100, "11-100"), (101, u64::MAX, ">100")];
+    let hotness = edges
+        .iter()
+        .map(|&(lo, hi, label)| {
+            let members: Vec<_> = profile
+                .tensors
+                .iter()
+                .filter(|t| t.mm_accesses >= lo && t.mm_accesses <= hi)
+                .collect();
+            HotBucket {
+                label: label.to_owned(),
+                min_accesses: lo,
+                max_accesses: hi,
+                tensor_count: members.len(),
+                bytes: members.iter().map(|t| t.bytes).sum(),
+            }
+        })
+        .collect();
+
+    Characterization {
+        model: graph.name().to_owned(),
+        total_tensors: total,
+        small_fraction: small as f64 / total.max(1) as f64,
+        short_lived_fraction: short.len() as f64 / total.max(1) as f64,
+        small_among_short_fraction: if short.is_empty() {
+            0.0
+        } else {
+            small_among_short as f64 / short.len() as f64
+        },
+        peak_bytes: profile.peak_live_bytes,
+        peak_short_lived_bytes: profile.peak_short_lived_bytes,
+        hotness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Profiler;
+    use sentinel_mem::HmConfig;
+    use sentinel_models::{ModelSpec, ModelZoo};
+
+    fn setup() -> (Graph, ProfileReport) {
+        let g = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+        let r = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn observation1_many_short_lived_tensors() {
+        let (g, r) = setup();
+        let c = characterize(&g, &r);
+        assert!(c.short_lived_fraction > 0.4, "short-lived fraction {:.2}", c.short_lived_fraction);
+        assert!(c.total_tensors > 100);
+    }
+
+    #[test]
+    fn observation2_hotness_is_skewed() {
+        let (g, r) = setup();
+        let c = characterize(&g, &r);
+        let cold_bytes: u64 = c.hotness.iter().filter(|b| b.max_accesses <= 10).map(|b| b.bytes).sum();
+        let hot_bytes: u64 = c.hotness.iter().filter(|b| b.min_accesses > 10).map(|b| b.bytes).sum();
+        // Cold tensors hold much more memory than hot ones.
+        assert!(cold_bytes > hot_bytes, "cold {cold_bytes} vs hot {hot_bytes}");
+    }
+
+    #[test]
+    fn buckets_partition_the_population() {
+        let (g, r) = setup();
+        let c = characterize(&g, &r);
+        let counted: usize = c.hotness.iter().map(|b| b.tensor_count).sum();
+        assert_eq!(counted, c.total_tensors);
+    }
+
+    #[test]
+    fn short_lived_peak_is_bounded() {
+        let (g, r) = setup();
+        let c = characterize(&g, &r);
+        assert!(c.peak_short_lived_bytes < c.peak_bytes);
+        assert!(c.peak_short_lived_bytes > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sentinel-profiler — tensor-level dynamic profiling
+//!
+//! Implements the paper's Section III profiling framework over the simulated
+//! substrate:
+//!
+//! * [`Profiler`] runs one training step with page-aligned per-tensor
+//!   allocation in slow memory while the OS layer counts main-memory
+//!   accesses through poison faults; the result is a [`ProfileReport`] with
+//!   per-tensor access counts, sizes, lifetimes and per-layer timings.
+//! * [`characterize`] turns a profile into the Observation 1–2 statistics
+//!   (small/short-lived tensor fractions, hotness histogram).
+//! * [`analyze_false_sharing`] reruns profiling under TensorFlow-style
+//!   packed allocation and quantifies Observation 3: cold tensor bytes that
+//!   page-level profiling hides inside hotter pages.
+//!
+//! The [`ProfileReport`] is the input Sentinel's runtime (the
+//! `sentinel-core` crate) uses for data reorganization and migration
+//! planning.
+
+mod characterize;
+mod falseshare;
+mod profile;
+mod run;
+
+pub use characterize::{characterize, Characterization, HotBucket};
+pub use falseshare::{analyze_false_sharing, FalseSharingReport};
+pub use profile::{ProfileReport, TensorProfile};
+pub use run::Profiler;

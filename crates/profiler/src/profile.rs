@@ -1,0 +1,175 @@
+//! Profile data structures: per-tensor main-memory access statistics.
+
+use sentinel_dnn::{TensorId, TensorKind};
+use sentinel_mem::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Profiled characteristics of one tensor (paper Section III-A): size,
+/// lifetime and the number of *main-memory* accesses observed during the
+/// profiling step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorProfile {
+    /// Tensor id within the profiled graph.
+    pub id: TensorId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Semantic kind (recorded for reporting; Sentinel never branches on it).
+    pub kind: TensorKind,
+    /// Whether the tensor is runtime-allocated with a single-layer lifetime.
+    pub short_lived: bool,
+    /// Inclusive `(first, last)` layer span, if the tensor is ever used.
+    pub layer_span: Option<(usize, usize)>,
+    /// Main-memory accesses to the tensor, normalized per page: the mean
+    /// number of poison faults each of its pages took (rounded up). This is
+    /// the paper's per-tensor hotness metric — it makes a 1 MiB tensor
+    /// streamed twice "2 accesses", comparable with a 4 KiB tensor read
+    /// twice, rather than letting size inflate the count.
+    pub mm_accesses: u64,
+    /// Raw poison faults summed over the tensor's pages.
+    pub page_faults: u64,
+    /// Pages the tensor occupied during profiling.
+    pub pages: u64,
+}
+
+impl TensorProfile {
+    /// Whether the tensor is smaller than one page.
+    #[must_use]
+    pub fn is_small(&self, page_size: u64) -> bool {
+        self.bytes < page_size
+    }
+}
+
+/// Result of a tensor-level profiling step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Model name.
+    pub model: String,
+    /// Page size used.
+    pub page_size: u64,
+    /// Per-tensor profiles, indexed by [`TensorId::index`].
+    pub tensors: Vec<TensorProfile>,
+    /// Per-layer execution time of the profiling step with the simulated
+    /// fault overhead removed — the basis for the paper's `T(MIL)` estimate.
+    pub layer_times_ns: Vec<Ns>,
+    /// Duration of the profiling step (including fault overhead).
+    pub profiling_step_ns: Ns,
+    /// Protection faults taken (== total counted main-memory accesses).
+    pub faults: u64,
+    /// Peak bytes of short-lived tensors live in any layer.
+    pub peak_short_lived_bytes: u64,
+    /// Peak live bytes of the graph.
+    pub peak_live_bytes: u64,
+}
+
+impl ProfileReport {
+    /// Profile of a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the profiled graph.
+    #[must_use]
+    pub fn tensor(&self, id: TensorId) -> &TensorProfile {
+        &self.tensors[id.index()]
+    }
+
+    /// Tensor ids sorted by decreasing main-memory access count — the order
+    /// Sentinel migrates in ("tensors with the largest number of memory
+    /// accesses are migrated to fast memory first").
+    #[must_use]
+    pub fn hot_order(&self) -> Vec<TensorId> {
+        let mut ids: Vec<TensorId> = self.tensors.iter().map(|t| t.id).collect();
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.tensor(id).mm_accesses));
+        ids
+    }
+
+    /// Total counted poison faults across all tensors.
+    #[must_use]
+    pub fn total_page_faults(&self) -> u64 {
+        self.tensors.iter().map(|t| t.page_faults).sum()
+    }
+
+    /// Bytes of tensors whose access count falls within `range`.
+    #[must_use]
+    pub fn bytes_with_accesses(&self, range: std::ops::RangeInclusive<u64>) -> u64 {
+        self.tensors.iter().filter(|t| range.contains(&t.mm_accesses)).map(|t| t.bytes).sum()
+    }
+
+    /// Per-layer `T` estimate: execution time of layers `[start, end)`.
+    #[must_use]
+    pub fn time_for_layers(&self, start: usize, end: usize) -> Ns {
+        self.layer_times_ns[start.min(self.layer_times_ns.len())..end.min(self.layer_times_ns.len())]
+            .iter()
+            .sum()
+    }
+
+    /// Mean per-layer time.
+    #[must_use]
+    pub fn mean_layer_time(&self) -> Ns {
+        if self.layer_times_ns.is_empty() {
+            0
+        } else {
+            self.layer_times_ns.iter().sum::<Ns>() / self.layer_times_ns.len() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(id: u32, bytes: u64, accesses: u64) -> TensorProfile {
+        TensorProfile {
+            id: TensorId(id),
+            bytes,
+            kind: TensorKind::Temporary,
+            short_lived: true,
+            layer_span: Some((0, 0)),
+            mm_accesses: accesses,
+            page_faults: accesses,
+            pages: 1,
+        }
+    }
+
+    fn report() -> ProfileReport {
+        ProfileReport {
+            model: "m".into(),
+            page_size: 4096,
+            tensors: vec![tp(0, 100, 5), tp(1, 200, 50), tp(2, 300, 1)],
+            layer_times_ns: vec![10, 20, 30],
+            profiling_step_ns: 100,
+            faults: 56,
+            peak_short_lived_bytes: 100,
+            peak_live_bytes: 600,
+        }
+    }
+
+    #[test]
+    fn hot_order_is_descending() {
+        let r = report();
+        assert_eq!(r.hot_order(), vec![TensorId(1), TensorId(0), TensorId(2)]);
+    }
+
+    #[test]
+    fn byte_buckets() {
+        let r = report();
+        assert_eq!(r.bytes_with_accesses(1..=10), 400);
+        assert_eq!(r.bytes_with_accesses(11..=u64::MAX), 200);
+        assert_eq!(r.total_page_faults(), 56);
+    }
+
+    #[test]
+    fn layer_time_windows() {
+        let r = report();
+        assert_eq!(r.time_for_layers(0, 2), 30);
+        assert_eq!(r.time_for_layers(1, 3), 50);
+        assert_eq!(r.time_for_layers(2, 10), 30);
+        assert_eq!(r.mean_layer_time(), 20);
+    }
+
+    #[test]
+    fn small_is_relative_to_page_size() {
+        let t = tp(0, 4095, 0);
+        assert!(t.is_small(4096));
+        assert!(!t.is_small(1024));
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproduce the paper's Section III characterization interactively:
+//! tensor-level profiling, Observations 1–3, and the false-sharing analysis.
+//!
+//! ```text
+//! cargo run --release --example characterize
+//! ```
+
+use sentinel::mem::HmConfig;
+use sentinel::models::{ModelSpec, ModelZoo};
+use sentinel::profiler::{analyze_false_sharing, characterize, Profiler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ModelSpec::resnet(32, 64);
+    let graph = ModelZoo::build(&spec)?;
+    println!("profiling one training step of {}...\n", graph.name());
+
+    let profile = Profiler::new(HmConfig::optane_like()).profile(&graph)?;
+    let ch = characterize(&graph, &profile);
+
+    println!("== Observation 1: many small, short-lived tensors ==");
+    println!("  tensors:                     {}", ch.total_tensors);
+    println!("  short-lived (≤1 layer):      {:.1}%", 100.0 * ch.short_lived_fraction);
+    println!("  small (<1 page) among those: {:.1}%", 100.0 * ch.small_among_short_fraction);
+    println!(
+        "  peak short-lived footprint:  {:.1} MiB of {:.1} MiB peak",
+        ch.peak_short_lived_bytes as f64 / (1 << 20) as f64,
+        ch.peak_bytes as f64 / (1 << 20) as f64
+    );
+
+    println!("\n== Observation 2: skewed main-memory access counts ==");
+    println!("  {:<12} {:>8} {:>12}", "accesses", "tensors", "bytes (MiB)");
+    for b in &ch.hotness {
+        println!(
+            "  {:<12} {:>8} {:>12.1}",
+            b.label,
+            b.tensor_count,
+            b.bytes as f64 / (1 << 20) as f64
+        );
+    }
+
+    println!("\n== Observation 3: page-level false sharing ==");
+    let fs = analyze_false_sharing(&graph, &HmConfig::optane_like(), 10)?;
+    println!("  pages hosting ≥2 tensors:    {:.1}%", 100.0 * fs.shared_fraction());
+    println!(
+        "  cold (≤{} accesses) tensors:  {:.1} MiB",
+        fs.cold_threshold,
+        fs.cold_tensor_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  cold *pages*:                {:.1} MiB",
+        fs.cold_page_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  cold bytes hidden by pages:  {:.1} MiB (what page-level profiling would misplace)",
+        fs.hidden_cold_bytes() as f64 / (1 << 20) as f64
+    );
+
+    println!("\n== Hottest tensors ==");
+    for id in profile.hot_order().into_iter().take(8) {
+        let t = profile.tensor(id);
+        println!(
+            "  {:<22} {:>6} accesses/page  {:>10} bytes  {}",
+            graph.tensor(id).name,
+            t.mm_accesses,
+            t.bytes,
+            if t.short_lived { "short-lived" } else { "long-lived" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Dynamic graphs via bucketed profiling (paper Section IV-E): an NLP-style
+//! workload whose batches fall into three input-length buckets, each with
+//! its own profile and migration plan.
+//!
+//! ```text
+//! cargo run --release --example dynamic_buckets
+//! ```
+
+use sentinel::core::{DataflowTracker, DynamicRuntime, SentinelConfig};
+use sentinel::mem::HmConfig;
+use sentinel::models::{ModelFamily, ModelSpec, ModelZoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three sequence-length buckets of the same LSTM language model.
+    let timesteps = [10u32, 20, 30];
+    let graphs: Vec<_> = timesteps
+        .iter()
+        .map(|&t| {
+            ModelZoo::build(
+                &ModelSpec { family: ModelFamily::Lstm { hidden: 1024, timesteps: t }, batch: 16, scale: 2 },
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for (t, g) in timesteps.iter().zip(&graphs) {
+        println!(
+            "bucket T={t}: {} layers, peak {} MiB",
+            g.num_layers(),
+            g.peak_live_bytes() >> 20
+        );
+    }
+
+    // Batches arrive with varying lengths; the tracker buckets them.
+    let mut tracker = DataflowTracker::new();
+    let arrivals = [12u64, 19, 28, 11, 22, 9, 30, 18, 25, 10, 27, 21];
+    let schedule: Vec<usize> = arrivals
+        .iter()
+        .map(|&len| {
+            // Round the sequence length up to the nearest bucket: ≤10 → T=10,
+            // 11..=20 → T=20, 21..=30 → T=30. The signature doubles as the
+            // graph index; the tracker just detects first sightings.
+            let bucket = (len.div_ceil(10).clamp(1, 3) - 1) as usize;
+            let (_, is_new) = tracker.observe(bucket as u64);
+            if is_new {
+                println!("new dataflow signature (len {len}) → bucket {bucket}: profiling triggered");
+            }
+            bucket
+        })
+        .collect();
+
+    let runtime = DynamicRuntime::new(
+        SentinelConfig::default(),
+        HmConfig::optane_like(),
+        0.25,
+        graphs,
+    );
+    let outcome = runtime.train_schedule(&schedule)?;
+
+    println!("\nprofiling steps spent: {} (one per visited bucket)", outcome.profiling_steps);
+    for b in 0..runtime.num_buckets() {
+        if let Some(steady) = outcome.steady_step_ns(b) {
+            println!(
+                "bucket {b}: {} steps, MIL = {:?}, steady step {:.2} ms",
+                outcome.steps_per_bucket[b],
+                outcome.mil_per_bucket[b].unwrap_or(0),
+                steady as f64 / 1e6
+            );
+        } else {
+            println!("bucket {b}: visited {} steps (no steady state yet)", outcome.steps_per_bucket[b]);
+        }
+    }
+    Ok(())
+}

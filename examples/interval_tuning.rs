@@ -1,0 +1,62 @@
+//! Explore the migration-interval trade-off (the paper's Figure 5 and
+//! Equations 1–2): sweep fixed interval lengths and compare with the
+//! analytic solver's choice.
+//!
+//! ```text
+//! cargo run --release --example interval_tuning
+//! ```
+
+use sentinel::core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel::mem::HmConfig;
+use sentinel::models::{ModelSpec, ModelZoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ModelSpec::resnet(32, 64);
+    let graph = ModelZoo::build(&spec)?;
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.3);
+    println!(
+        "{}: {} layers, fast = 30% of peak\n",
+        graph.name(),
+        graph.num_layers()
+    );
+
+    println!("{:>4} {:>12} {:>8} {:>8}", "MIL", "step (ms)", "case2", "case3");
+    let mut best = (0usize, u64::MAX);
+    for mil in 1..=12 {
+        let outcome = SentinelRuntime::new(SentinelConfig::default().with_mil(mil), hm.clone())
+            .train(&graph, 8)?;
+        let ns = outcome.report.steady_step_ns();
+        if ns < best.1 {
+            best = (mil, ns);
+        }
+        println!(
+            "{:>4} {:>12.2} {:>8} {:>8}",
+            mil,
+            ns as f64 / 1e6,
+            outcome.stats.case2_events,
+            outcome.stats.case3_events
+        );
+    }
+
+    // The solver's pick (Equations 1 and 2) without an override.
+    let solved = SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, 8)?;
+    println!(
+        "\nempirical best MIL = {} ({:.2} ms); solver chose MIL = {} ({:.2} ms)",
+        best.0,
+        best.1 as f64 / 1e6,
+        solved.stats.mil,
+        solved.report.steady_step_ns() as f64 / 1e6
+    );
+    if let Some(sol) = &solved.mil_solution {
+        println!("\nsolver view (Eq. 1 space constraint):");
+        for c in sol.candidates.iter().take(12) {
+            println!(
+                "  MIL {:>2}: demand {:>7.1} MiB  feasible: {}",
+                c.mil,
+                c.tensor_bytes as f64 / (1 << 20) as f64,
+                c.feasible
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Optane-platform policy showdown: run every CPU memory-management policy
+//! on one model at 20% fast memory and compare (the Figure 7/8 scenario).
+//!
+//! ```text
+//! cargo run --release --example optane_showdown [model]
+//! ```
+//!
+//! `model` ∈ {resnet32, bert, lstm, mobilenet, dcgan}; default resnet32.
+
+use sentinel::baselines::{run_baseline, Baseline};
+use sentinel::core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel::mem::HmConfig;
+use sentinel::models::{ModelSpec, ModelZoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "resnet32".into());
+    let spec = match which.as_str() {
+        "bert" => ModelSpec::bert_base(8),
+        "lstm" => ModelSpec::lstm(32),
+        "mobilenet" => ModelSpec::mobilenet(16),
+        "dcgan" => ModelSpec::dcgan(64),
+        _ => ModelSpec::resnet(32, 64),
+    };
+    let graph = ModelZoo::build(&spec)?;
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    println!(
+        "{}: peak {} MiB, fast capped at {} MiB (20%)\n",
+        graph.name(),
+        graph.peak_live_bytes() >> 20,
+        hm.fast.capacity_bytes >> 20
+    );
+
+    // Slow-only defines the normalization baseline; fast-only the ceiling.
+    let slow = run_baseline(Baseline::SlowOnly, &graph, &hm, 4)?.expect("applies");
+    let slow_ns = slow.steady_step_ns() as f64;
+
+    println!("{:<14} {:>12} {:>14} {:>16}", "policy", "step (ms)", "vs slow-only", "migrated/step");
+    let show = |name: &str, step_ns: u64, migrated: u64| {
+        println!(
+            "{:<14} {:>12.2} {:>13.2}x {:>12} MiB",
+            name,
+            step_ns as f64 / 1e6,
+            slow_ns / step_ns as f64,
+            migrated >> 20
+        );
+    };
+    show("slow-only", slow.steady_step_ns(), 0);
+
+    for b in [Baseline::FirstTouch, Baseline::MemoryModeCache, Baseline::Ial, Baseline::AutoTm] {
+        if let Some(r) = run_baseline(b, &graph, &hm, 4)? {
+            show(b.name(), r.steady_step_ns(), r.steady_migrated_bytes());
+        }
+    }
+
+    let sentinel = SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, 8)?;
+    show("sentinel", sentinel.report.steady_step_ns(), sentinel.report.steady_migrated_bytes());
+
+    let fast_hm = fast_sized_for(HmConfig::optane_like(), &graph, 1.5);
+    let fast = run_baseline(Baseline::FastOnly, &graph, &fast_hm, 4)?.expect("applies");
+    show("fast-only", fast.steady_step_ns(), 0);
+
+    println!(
+        "\nsentinel chose MIL = {} layers; case 2/3 events: {}/{}; trial steps: {}",
+        sentinel.stats.mil,
+        sentinel.stats.case2_events,
+        sentinel.stats.case3_events,
+        sentinel.stats.trial_steps
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Cross-crate end-to-end tests: the full profile → reorganize → train
+//! pipeline over every model family and policy.
+
+use sentinel::baselines::{run_baseline, Baseline};
+use sentinel::core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel::dnn::{Executor, SingleTier};
+use sentinel::mem::{HmConfig, MemorySystem, Tier};
+use sentinel::models::{ModelSpec, ModelZoo};
+
+fn scaled_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::resnet(32, 8).with_scale(4),
+        ModelSpec::bert_base(2).with_scale(8),
+        ModelSpec::lstm(4).with_scale(8),
+        ModelSpec::mobilenet(4).with_scale(8),
+        ModelSpec::dcgan(8).with_scale(8),
+    ]
+}
+
+#[test]
+fn sentinel_full_pipeline_on_every_model() {
+    for spec in scaled_models() {
+        let graph = ModelZoo::build(&spec).unwrap();
+        let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+        let outcome = SentinelRuntime::new(SentinelConfig::default(), hm)
+            .train(&graph, 6)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        assert_eq!(outcome.steps_executed, 6, "{}", spec.name());
+        assert!(outcome.stats.mil >= 1, "{}", spec.name());
+        let profile = outcome.profile.expect("profile collected");
+        assert_eq!(profile.tensors.len(), graph.num_tensors(), "{}", spec.name());
+        assert!(profile.faults > 0, "{}: profiling counted nothing", spec.name());
+        // Managed steps must beat the (fault-burdened) profiling step.
+        assert!(
+            outcome.report.steady_step_ns() < outcome.report.steps[0].duration_ns,
+            "{}",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn every_policy_runs_every_model_without_leaks() {
+    for spec in scaled_models() {
+        let graph = ModelZoo::build(&spec).unwrap();
+        let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.25);
+        for baseline in Baseline::all() {
+            let Some(mut policy) = baseline.make(&graph, &hm) else { continue };
+            let mem = MemorySystem::new(hm.clone());
+            let mut exec = Executor::new(&graph, mem);
+            let report = exec
+                .run(policy.as_mut(), 3)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", baseline.name(), spec.name()));
+            assert_eq!(report.steps_executed(), 3);
+            // After the run, only preallocated tensors may hold memory.
+            for t in graph.tensors() {
+                assert_eq!(
+                    exec.ctx().is_live(t.id),
+                    t.preallocated(),
+                    "{} on {}: tensor {} leaked",
+                    baseline.name(),
+                    spec.name(),
+                    t.name
+                );
+            }
+            // No accesses may have hit unmapped pages.
+            let mem = exec.into_mem();
+            assert_eq!(
+                mem.unmapped_accesses(),
+                0,
+                "{} on {}: unmapped accesses",
+                baseline.name(),
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let spec = ModelSpec::resnet(32, 8).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    let a = SentinelRuntime::new(SentinelConfig::default(), hm.clone()).train(&graph, 6).unwrap();
+    let b = SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, 6).unwrap();
+    assert_eq!(a.report.steps, b.report.steps);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn fast_memory_capacity_is_never_exceeded() {
+    let spec = ModelSpec::resnet(32, 8).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+    let fast_pages = hm.fast_pages();
+    for baseline in [Baseline::Ial, Baseline::AutoTm, Baseline::UnifiedMemory] {
+        let mut policy = baseline.make(&graph, &hm).unwrap();
+        let mem = MemorySystem::new(hm.clone());
+        let mut exec = Executor::new(&graph, mem);
+        let report = exec.run(policy.as_mut(), 3).unwrap();
+        assert!(
+            report.peak_fast_pages() <= fast_pages,
+            "{}: peak {} > capacity {}",
+            baseline.name(),
+            report.peak_fast_pages(),
+            fast_pages
+        );
+    }
+    let outcome = SentinelRuntime::new(SentinelConfig::default(), hm.clone()).train(&graph, 6).unwrap();
+    assert!(outcome.report.peak_fast_pages() <= fast_pages);
+}
+
+#[test]
+fn gpu_platform_policies_never_compute_from_slow_memory() {
+    // On the GPU platform every access must be serviced from fast memory:
+    // policies fault tensors in before the access happens.
+    let spec = ModelSpec::resnet(32, 8).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::gpu_like().without_cache(), &graph, 0.4);
+    for baseline in [Baseline::UnifiedMemory, Baseline::Capuchin] {
+        let mut policy = baseline.make(&graph, &hm).unwrap();
+        let mem = MemorySystem::new(hm.clone());
+        let mut exec = Executor::new(&graph, mem);
+        let report = exec.run(policy.as_mut(), 3).unwrap();
+        let last = report.steps.last().unwrap();
+        let slow_fraction = last.slow_accesses as f64
+            / (last.slow_accesses + last.fast_accesses).max(1) as f64;
+        assert!(
+            slow_fraction < 0.05,
+            "{}: {:.1}% of accesses served from slow memory on GPU",
+            baseline.name(),
+            100.0 * slow_fraction
+        );
+    }
+}
+
+#[test]
+fn sentinel_orders_between_slow_and_fast_only() {
+    let spec = ModelSpec::mobilenet(4).with_scale(8);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.25);
+    let slow = {
+        let mem = MemorySystem::new(hm.clone());
+        Executor::new(&graph, mem).run(&mut SingleTier::slow(), 3).unwrap()
+    };
+    let fast = {
+        let mem = MemorySystem::new(fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 1.5));
+        Executor::new(&graph, mem).run(&mut SingleTier::fast(), 3).unwrap()
+    };
+    let sentinel = SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, 6).unwrap();
+    assert!(sentinel.report.steady_step_ns() < slow.steady_step_ns());
+    assert!(sentinel.report.steady_step_ns() >= fast.steady_step_ns());
+}
+
+#[test]
+fn reorganized_allocation_reduces_false_sharing_at_runtime() {
+    // Under Sentinel's co-allocation the packed pools separate lifetime
+    // classes, so the peak footprint should not exceed the TF-style packed
+    // footprint by much, and training must still be correct.
+    let spec = ModelSpec::resnet(32, 8).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.3);
+    let with = SentinelRuntime::new(SentinelConfig::default(), hm.clone()).train(&graph, 6).unwrap();
+    let without = {
+        let cfg = SentinelConfig { coallocate: false, ..SentinelConfig::default() };
+        SentinelRuntime::new(cfg, hm).train(&graph, 6).unwrap()
+    };
+    // Both complete; co-allocation should not be slower than packed-everything.
+    assert!(
+        with.report.steady_step_ns() <= without.report.steady_step_ns() * 11 / 10,
+        "co-allocation {} vs packed {}",
+        with.report.steady_step_ns(),
+        without.report.steady_step_ns()
+    );
+}
+
+#[test]
+fn memory_mode_and_first_touch_do_not_migrate() {
+    let spec = ModelSpec::resnet(20, 4).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    for baseline in [Baseline::FirstTouch, Baseline::MemoryModeCache] {
+        let report = run_baseline(baseline, &graph, &hm, 3).unwrap().unwrap();
+        assert_eq!(report.steady_migrated_bytes(), 0, "{}", baseline.name());
+    }
+}
+
+#[test]
+fn tier_accounting_is_consistent_after_training() {
+    let spec = ModelSpec::lstm(4).with_scale(8);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.3);
+    let mem = MemorySystem::new(hm);
+    let mut exec = Executor::new(&graph, mem);
+    let mut policy = SingleTier::slow();
+    exec.run(&mut policy, 2).unwrap();
+    let prealloc_bytes: u64 = graph.preallocated().map(|t| t.bytes).sum();
+    let mem = exec.into_mem();
+    let used = (mem.used_pages(Tier::Fast) + mem.used_pages(Tier::Slow)) * mem.page_size();
+    // Mapped pages cover exactly the preallocated tensors (plus page rounding).
+    assert!(used >= prealloc_bytes, "used {used} < prealloc {prealloc_bytes}");
+    assert!(used <= prealloc_bytes * 2 + (64 << 10), "used {used} way over prealloc {prealloc_bytes}");
+}

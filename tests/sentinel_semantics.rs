@@ -1,0 +1,186 @@
+//! Runtime checks of Sentinel's semantic guarantees: co-allocation rules,
+//! short-lived placement, and solver behaviour, observed *during* training
+//! through a probing wrapper policy.
+
+use sentinel::core::{fast_sized_for, SentinelConfig, SentinelPolicy};
+use sentinel::dnn::{ExecCtx, Executor, MemoryManager, OpRef, PoolSpec, Tensor, TensorId};
+use sentinel::mem::{AccessKind, HmConfig, MemorySystem, Tier};
+use sentinel::models::{ModelSpec, ModelZoo};
+
+/// Forwards every hook to the wrapped Sentinel policy while recording
+/// invariant violations after each op.
+struct Probe {
+    inner: SentinelPolicy,
+    violations: Vec<String>,
+    checked_ops: usize,
+    short_fast_failures: usize,
+    short_allocs: usize,
+}
+
+impl Probe {
+    fn new(cfg: SentinelConfig) -> Self {
+        Probe {
+            inner: SentinelPolicy::new(cfg),
+            violations: Vec::new(),
+            checked_ops: 0,
+            short_fast_failures: 0,
+            short_allocs: 0,
+        }
+    }
+
+    fn check_page_sharing(&mut self, ctx: &ExecCtx<'_>) {
+        // Rule 4: no live short-lived tensor shares a page with a live
+        // long-lived tensor. Rule 5: preallocated tensors never share pages.
+        let graph = ctx.graph();
+        let live: Vec<&Tensor> =
+            graph.tensors().iter().filter(|t| ctx.is_live(t.id)).collect();
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let (Some(pa), Some(pb)) = (ctx.placement(a.id), ctx.placement(b.id)) else {
+                    continue;
+                };
+                if !pa.pages.overlaps(&pb.pages) {
+                    continue;
+                }
+                // Overlapping covering pages is fine only if the actual byte
+                // spans share a page, so check byte-level page sharing.
+                let share_page = pa.addr / 4096 == (pb.addr + pb.bytes - 1) / 4096
+                    || pb.addr / 4096 == (pa.addr + pa.bytes - 1) / 4096
+                    || pa.pages.intersection(&pb.pages).is_some();
+                if !share_page {
+                    continue;
+                }
+                if a.is_short_lived() != b.is_short_lived() {
+                    self.violations.push(format!(
+                        "short/long page sharing: {} and {}",
+                        a.name, b.name
+                    ));
+                }
+                if a.preallocated() || b.preallocated() {
+                    self.violations.push(format!(
+                        "preallocated tensor shares a page: {} and {}",
+                        a.name, b.name
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl MemoryManager for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn on_train_begin(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_train_begin(ctx);
+    }
+    fn on_step_begin(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_step_begin(ctx);
+    }
+    fn pool_for(&mut self, tensor: &Tensor, ctx: &ExecCtx<'_>) -> PoolSpec {
+        self.inner.pool_for(tensor, ctx)
+    }
+    fn tier_for(&mut self, tensor: &Tensor, ctx: &ExecCtx<'_>) -> Tier {
+        self.inner.tier_for(tensor, ctx)
+    }
+    fn on_alloc(&mut self, tensor: TensorId, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_alloc(tensor, ctx);
+        // In the managed phase (step ≥ 1), short-lived tensors must land in
+        // fast memory.
+        if ctx.step() >= 1 && ctx.tensor(tensor).is_short_lived() {
+            self.short_allocs += 1;
+            if ctx.tensor_bytes_in(tensor, Tier::Fast) == 0 {
+                self.short_fast_failures += 1;
+            }
+        }
+    }
+    fn on_capacity_pressure(&mut self, tier: Tier, needed: u64, ctx: &mut ExecCtx<'_>) -> bool {
+        self.inner.on_capacity_pressure(tier, needed, ctx)
+    }
+    fn before_layer(&mut self, layer: usize, ctx: &mut ExecCtx<'_>) {
+        self.inner.before_layer(layer, ctx);
+    }
+    fn after_layer(&mut self, layer: usize, ctx: &mut ExecCtx<'_>) {
+        self.inner.after_layer(layer, ctx);
+    }
+    fn before_op(&mut self, at: OpRef, ctx: &mut ExecCtx<'_>) {
+        self.inner.before_op(at, ctx);
+    }
+    fn after_op(&mut self, at: OpRef, ctx: &mut ExecCtx<'_>) {
+        self.inner.after_op(at, ctx);
+        if ctx.step() >= 1 && self.checked_ops < 400 {
+            self.checked_ops += 1;
+            self.check_page_sharing(ctx);
+        }
+    }
+    fn before_access(&mut self, tensor: TensorId, kind: AccessKind, ctx: &mut ExecCtx<'_>) {
+        self.inner.before_access(tensor, kind, ctx);
+    }
+    fn on_free(&mut self, tensor: TensorId, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_free(tensor, ctx);
+    }
+    fn on_step_end(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_step_end(ctx);
+    }
+    fn on_train_end(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.inner.on_train_end(ctx);
+    }
+}
+
+fn run_probe(spec: &ModelSpec, fraction: f64) -> Probe {
+    let graph = ModelZoo::build(spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, fraction);
+    let mem = MemorySystem::new(hm);
+    let mut exec = Executor::new(&graph, mem);
+    let mut probe = Probe::new(SentinelConfig::default());
+    for _ in 0..4 {
+        exec.run_step(&mut probe).unwrap();
+    }
+    probe
+}
+
+#[test]
+fn coallocation_rules_hold_at_runtime() {
+    let probe = run_probe(&ModelSpec::resnet(32, 8).with_scale(4), 0.3);
+    assert!(probe.checked_ops > 100, "probe checked too few ops");
+    assert!(
+        probe.violations.is_empty(),
+        "co-allocation violations: {:?}",
+        &probe.violations[..probe.violations.len().min(5)]
+    );
+}
+
+#[test]
+fn short_lived_tensors_are_placed_in_fast_memory() {
+    let probe = run_probe(&ModelSpec::resnet(32, 8).with_scale(4), 0.3);
+    assert!(probe.short_allocs > 50, "too few short-lived allocations observed");
+    let failure_rate = probe.short_fast_failures as f64 / probe.short_allocs as f64;
+    assert!(
+        failure_rate < 0.05,
+        "{}/{} short-lived allocations missed fast memory",
+        probe.short_fast_failures,
+        probe.short_allocs
+    );
+}
+
+#[test]
+fn coallocation_rules_hold_for_recurrent_models_too() {
+    let probe = run_probe(&ModelSpec::lstm(4).with_scale(8), 0.3);
+    assert!(probe.violations.is_empty(), "violations: {:?}", &probe.violations[..probe.violations.len().min(5)]);
+}
+
+#[test]
+fn ablations_degrade_gracefully() {
+    use sentinel::core::{Ablation, SentinelRuntime};
+    let spec = ModelSpec::resnet(32, 8).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+    let mut times = Vec::new();
+    for ab in [Ablation::Direct, Ablation::WithInterval, Ablation::Full] {
+        let cfg = SentinelConfig::default().with_ablation(ab);
+        let o = SentinelRuntime::new(cfg, hm.clone()).train(&graph, 6).unwrap();
+        times.push(o.report.steady_step_ns());
+    }
+    // Full Sentinel must not lose to the direct-migration ablation.
+    assert!(times[2] <= times[0], "full {} vs direct {}", times[2], times[0]);
+}
