@@ -10,10 +10,9 @@ use crate::um::UnifiedMemory;
 use crate::vdnn::Vdnn;
 use sentinel_dnn::{ExecError, Executor, Graph, MemoryManager, SingleTier, TrainReport};
 use sentinel_mem::{HmConfig, MemorySystem};
-use serde::{Deserialize, Serialize};
 
 /// Every comparison system of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Baseline {
     /// Everything in slow memory (normalization baseline of Figure 7).
     SlowOnly,
@@ -138,7 +137,7 @@ impl Baseline {
 }
 
 /// The Table-I qualitative comparison axes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyTraits {
     /// Profiles the running workload rather than a static model.
     pub dynamic_profiling: bool,
@@ -242,3 +241,17 @@ mod tests {
         assert!(ial.steady_step_ns() < slow.steady_step_ns());
     }
 }
+
+impl sentinel_util::ToJson for Baseline {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(self.name().to_owned())
+    }
+}
+
+sentinel_util::impl_to_json!(PolicyTraits {
+    dynamic_profiling,
+    minimizes_fast_memory,
+    graph_agnostic,
+    counts_memory_accesses,
+    avoids_false_sharing,
+});

@@ -11,8 +11,7 @@
 //! Sentinel.
 
 use crate::common::{ensure_resident_sync, StaticProfile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sentinel_util::Rng;
 use sentinel_dnn::{ExecCtx, Graph, MemoryManager, Tensor, TensorId};
 use sentinel_mem::{pages_for_bytes, AccessKind, Tier};
 
@@ -116,7 +115,7 @@ fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) 
     if n == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = Rng::seed_from_u64(SEED);
     let mut population: Vec<Vec<bool>> =
         (0..POPULATION).map(|_| (0..n).map(|_| rng.gen_bool(0.5)).collect()).collect();
 
@@ -134,9 +133,9 @@ fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) 
         // Tournament selection + uniform crossover + mutation.
         let mut next = Vec::with_capacity(POPULATION);
         while next.len() < POPULATION {
-            let pick = |rng: &mut StdRng| {
-                let a = rng.gen_range(0..POPULATION);
-                let b = rng.gen_range(0..POPULATION);
+            let pick = |rng: &mut Rng| {
+                let a = rng.gen_usize(0, POPULATION);
+                let b = rng.gen_usize(0, POPULATION);
                 if costs[a] <= costs[b] {
                     a
                 } else {

@@ -1,15 +1,26 @@
-//! Criterion benchmarks: one group per paper table/figure (run on scaled
-//! models so the suite stays fast) plus micro-benchmarks of the runtime's
-//! hot components. The full-size numbers behind EXPERIMENTS.md come from
+//! Paper benchmarks on the in-tree timing harness (`sentinel_util::timing`):
+//! one benchmark per paper table/figure driver (run on scaled models so the
+//! suite stays fast) plus micro-benchmarks of the runtime's hot components.
+//!
+//! ```text
+//! cargo bench -p sentinel-bench                 # full suite, label "dev"
+//! SENTINEL_BENCH_LABEL=seed cargo bench -p sentinel-bench
+//! cargo bench -p sentinel-bench -- fig7         # name filter
+//! ```
+//!
+//! Each run prints a summary table and writes
+//! `results/BENCH_<label>.json` (median/p10/p90 per benchmark) at the
+//! workspace root, giving later PRs a perf trajectory to compare against.
+//! The full-size numbers behind EXPERIMENTS.md come from
 //! `cargo run -p sentinel-bench --release --bin run_experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sentinel_baselines::{run_baseline, Baseline};
 use sentinel_core::{fast_sized_for, solve_mil, Schedule, SentinelConfig, SentinelRuntime};
 use sentinel_dnn::{PoolSpec, SegmentAllocator};
 use sentinel_mem::{Direction, HmConfig, MemorySystem, MigrationEngine, PageRange};
 use sentinel_models::{ModelSpec, ModelZoo};
 use sentinel_profiler::Profiler;
+use sentinel_util::{suite_json, BenchResult, Bencher};
 use std::hint::black_box;
 
 fn bench_spec() -> ModelSpec {
@@ -17,124 +28,141 @@ fn bench_spec() -> ModelSpec {
 }
 
 /// Figure 7 driver: one Sentinel training run at 20% fast.
-fn fig7_sentinel_small_batch(c: &mut Criterion) {
+fn fig7_sentinel_small_batch(b: &Bencher) -> BenchResult {
     let graph = ModelZoo::build(&bench_spec()).unwrap();
     let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
-    c.bench_function("fig7/sentinel_resnet32_20pct", |b| {
-        b.iter(|| {
-            let o = SentinelRuntime::new(SentinelConfig::default(), hm.clone())
-                .train(black_box(&graph), 4)
-                .unwrap();
-            black_box(o.report.steady_step_ns())
-        })
-    });
+    b.run("fig7/sentinel_resnet32_20pct", || {
+        let o = SentinelRuntime::new(SentinelConfig::default(), hm.clone())
+            .train(black_box(&graph), 4)
+            .unwrap();
+        o.report.steady_step_ns()
+    })
 }
 
-/// Figure 7 driver: the IAL and AutoTM comparison points.
-fn fig7_baselines(c: &mut Criterion) {
+/// Figure 7 driver: the IAL, AutoTM and slow-only comparison points.
+fn fig7_baselines(b: &Bencher, baseline: Baseline) -> BenchResult {
     let graph = ModelZoo::build(&bench_spec()).unwrap();
     let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
-    for baseline in [Baseline::Ial, Baseline::AutoTm, Baseline::SlowOnly] {
-        c.bench_function(&format!("fig7/{}_resnet32_20pct", baseline.name()), |b| {
-            b.iter(|| {
-                let r = run_baseline(baseline, black_box(&graph), &hm, 3).unwrap().unwrap();
-                black_box(r.steady_step_ns())
-            })
-        });
-    }
+    b.run(&format!("fig7/{}_resnet32_20pct", baseline.name()), || {
+        let r = run_baseline(baseline, black_box(&graph), &hm, 3).unwrap().unwrap();
+        r.steady_step_ns()
+    })
 }
 
 /// Figure 12 driver: Sentinel-GPU under device-memory pressure.
-fn fig12_sentinel_gpu(c: &mut Criterion) {
+fn fig12_sentinel_gpu(b: &Bencher) -> BenchResult {
     let graph = ModelZoo::build(&bench_spec()).unwrap();
     let hm = fast_sized_for(HmConfig::gpu_like(), &graph, 0.6);
-    c.bench_function("fig12/sentinel_gpu_resnet32_60pct", |b| {
-        b.iter(|| {
-            let o = SentinelRuntime::new(SentinelConfig::gpu(), hm.clone())
-                .train(black_box(&graph), 4)
-                .unwrap();
-            black_box(o.report.steady_step_ns())
-        })
-    });
+    b.run("fig12/sentinel_gpu_resnet32_60pct", || {
+        let o = SentinelRuntime::new(SentinelConfig::gpu(), hm.clone())
+            .train(black_box(&graph), 4)
+            .unwrap();
+        o.report.steady_step_ns()
+    })
 }
 
 /// Section III driver: the tensor-level profiling step (Table III column).
-fn profiling_step(c: &mut Criterion) {
+fn profiling_step(b: &Bencher) -> BenchResult {
     let graph = ModelZoo::build(&bench_spec()).unwrap();
-    c.bench_function("table3/profiling_step_resnet32", |b| {
-        b.iter(|| {
-            let r = Profiler::new(HmConfig::optane_like()).profile(black_box(&graph)).unwrap();
-            black_box(r.faults)
-        })
-    });
+    b.run("table3/profiling_step_resnet32", || {
+        let r = Profiler::new(HmConfig::optane_like()).profile(black_box(&graph)).unwrap();
+        r.faults
+    })
 }
 
 /// Figure 5 driver: the Eq. 1/2 interval solver.
-fn mil_solver(c: &mut Criterion) {
+fn mil_solver(b: &Bencher) -> BenchResult {
     let graph = ModelZoo::build(&bench_spec()).unwrap();
     let schedule = Schedule::new(&graph);
     let profile = Profiler::new(HmConfig::optane_like()).profile(&graph).unwrap();
     let fast = graph.peak_live_bytes() / 5;
-    c.bench_function("fig5/mil_solver_resnet32", |b| {
-        b.iter(|| {
-            let sol = solve_mil(
-                black_box(&graph),
-                &schedule,
-                &profile,
-                fast,
-                fast / 10,
-                10.0,
-            );
-            black_box(sol.mil)
-        })
-    });
+    b.run("fig5/mil_solver_resnet32", || {
+        let sol = solve_mil(black_box(&graph), &schedule, &profile, fast, fast / 10, 10.0);
+        sol.mil
+    })
 }
 
 /// Micro: pooled allocator throughput (alloc+free pairs).
-fn allocator_micro(c: &mut Criterion) {
-    c.bench_function("micro/allocator_alloc_free_1k", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 28));
-            let mut alloc = SegmentAllocator::new(4096);
-            let mut live = Vec::with_capacity(64);
-            for i in 0..1000u64 {
-                let spec = PoolSpec::packed(i % 4);
-                live.push(alloc.alloc(&mut mem, spec, 1000 + (i % 7) * 900));
-                if live.len() > 32 {
-                    let a = live.remove(0);
-                    alloc.free(&a);
-                }
+fn allocator_micro(b: &Bencher) -> BenchResult {
+    b.run("micro/allocator_alloc_free_1k", || {
+        let mut mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 28));
+        let mut alloc = SegmentAllocator::new(4096);
+        let mut live = Vec::with_capacity(64);
+        for i in 0..1000u64 {
+            let spec = PoolSpec::packed(i % 4);
+            live.push(alloc.alloc(&mut mem, spec, 1000 + (i % 7) * 900));
+            if live.len() > 32 {
+                let a = live.remove(0);
+                alloc.free(&a);
             }
-            black_box(alloc.live_bytes())
-        })
-    });
+        }
+        alloc.live_bytes()
+    })
 }
 
 /// Micro: migration engine enqueue/drain throughput.
-fn migration_engine_micro(c: &mut Criterion) {
-    c.bench_function("micro/migration_engine_1k_batches", |b| {
-        b.iter(|| {
-            let mut e = MigrationEngine::new(10.0, 10.0, 100, 4096);
-            for i in 0..1000u64 {
-                let dir = if i % 2 == 0 { Direction::Promote } else { Direction::Demote };
-                e.enqueue(PageRange::new(i * 8, 8), dir, i * 50);
-                if i % 16 == 0 {
-                    black_box(e.drain_completed(i * 50).len());
-                }
+fn migration_engine_micro(b: &Bencher) -> BenchResult {
+    b.run("micro/migration_engine_1k_batches", || {
+        let mut e = MigrationEngine::new(10.0, 10.0, 100, 4096);
+        for i in 0..1000u64 {
+            let dir = if i % 2 == 0 { Direction::Promote } else { Direction::Demote };
+            e.enqueue(PageRange::new(i * 8, 8), dir, i * 50);
+            if i % 16 == 0 {
+                black_box(e.drain_completed(i * 50).len());
             }
-            black_box(e.quiescent_at())
-        })
-    });
+        }
+        e.quiescent_at()
+    })
 }
 
-criterion_group! {
-    name = paper;
-    config = Criterion::default().sample_size(10);
-    targets = fig7_sentinel_small_batch, fig7_baselines, fig12_sentinel_gpu, profiling_step, mil_solver
+fn main() {
+    // `cargo bench` passes `--bench`; anything else is a name filter.
+    let filters: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let label = std::env::var("SENTINEL_BENCH_LABEL").unwrap_or_else(|_| "dev".to_owned());
+
+    // Paper drivers measure whole training runs; micros are cheap, so give
+    // them more iterations (matching the old criterion sample sizes).
+    let paper = Bencher::new(2, 10);
+    let micro = Bencher::new(4, 20);
+
+    let suite: Vec<(&str, Box<dyn Fn() -> BenchResult>)> = vec![
+        ("fig7/sentinel_resnet32_20pct", Box::new(move || fig7_sentinel_small_batch(&paper))),
+        ("fig7/ial_resnet32_20pct", Box::new(move || fig7_baselines(&paper, Baseline::Ial))),
+        ("fig7/autotm_resnet32_20pct", Box::new(move || fig7_baselines(&paper, Baseline::AutoTm))),
+        (
+            "fig7/slow_only_resnet32_20pct",
+            Box::new(move || fig7_baselines(&paper, Baseline::SlowOnly)),
+        ),
+        ("fig12/sentinel_gpu_resnet32_60pct", Box::new(move || fig12_sentinel_gpu(&paper))),
+        ("table3/profiling_step_resnet32", Box::new(move || profiling_step(&paper))),
+        ("fig5/mil_solver_resnet32", Box::new(move || mil_solver(&paper))),
+        ("micro/allocator_alloc_free_1k", Box::new(move || allocator_micro(&micro))),
+        ("micro/migration_engine_1k_batches", Box::new(move || migration_engine_micro(&micro))),
+    ];
+
+    let mut results = Vec::new();
+    for (name, run) in &suite {
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
+        let r = run();
+        println!("{}", r.summary_line());
+        results.push(r);
+    }
+    if results.is_empty() {
+        eprintln!("no benchmark matched the filter; known names:");
+        for (name, _) in &suite {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+
+    // Write next to the workspace root regardless of the invocation cwd.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_{label}.json");
+    std::fs::write(&path, suite_json(&label, &results).to_pretty_string())
+        .expect("write bench json");
+    println!("wrote {path}");
 }
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = allocator_micro, migration_engine_micro
-}
-criterion_main!(paper, micro);

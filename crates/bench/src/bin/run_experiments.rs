@@ -36,7 +36,7 @@ fn main() {
             continue;
         }
         let result = generator(&cfg);
-        let json = serde_json::to_string_pretty(&result).expect("serialize");
+        let json = sentinel_util::ToJson::to_json(&result).to_pretty_string();
         fs::write(format!("results/{}.json", result.id), json).expect("write json");
         println!("  [{}] {} ({:.1}s elapsed)", result.id, result.title, started.elapsed().as_secs_f64());
         sections.push(result);

@@ -5,12 +5,10 @@ use crate::harness::{fx, run_sentinel_with, ExpConfig, ExpResult};
 use sentinel_core::{Case3Policy, SentinelConfig};
 use sentinel_mem::{HmConfig, MILLISECOND};
 use sentinel_models::ModelSpec;
-use serde::Serialize;
 
 /// Sweep the design-choice switches one at a time on ResNet-32 at 20% fast.
 #[must_use]
 pub fn ablations(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         variant: String,
         step_ms: f64,
@@ -18,6 +16,7 @@ pub fn ablations(cfg: &ExpConfig) -> ExpResult {
         migrated_mib: u64,
         case3: u64,
     }
+    sentinel_util::impl_to_json!(Row { variant, step_ms, slowdown_vs_full, migrated_mib, case3 });
     let spec = ModelSpec::resnet(32, 64).with_scale(cfg.scale());
     let variants: Vec<(&str, SentinelConfig)> = vec![
         ("full sentinel", SentinelConfig::default()),

@@ -5,16 +5,15 @@ use crate::harness::{mib, ExpConfig, ExpResult};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
 use sentinel_profiler::{analyze_false_sharing, characterize, Profiler};
-use serde::Serialize;
 
 /// Observations 1–3 on ResNet-32.
 #[must_use]
 pub fn observations(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Payload {
         characterization: sentinel_profiler::Characterization,
         false_sharing: sentinel_profiler::FalseSharingReport,
     }
+    sentinel_util::impl_to_json!(Payload { characterization, false_sharing });
     let spec = ModelSpec::resnet(32, 64).with_scale(cfg.scale());
     let graph = ModelZoo::build(&spec).expect("model builds");
     let profile = Profiler::new(HmConfig::optane_like()).profile(&graph).expect("profiles");
@@ -53,7 +52,6 @@ pub fn observations(cfg: &ExpConfig) -> ExpResult {
 /// Figures 1/2 stand-in: dump the op/tensor anatomy of one residual block.
 #[must_use]
 pub fn fig1_anatomy(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct OpDump {
         layer: String,
         op: String,
@@ -61,6 +59,7 @@ pub fn fig1_anatomy(cfg: &ExpConfig) -> ExpResult {
         reads: Vec<String>,
         writes: Vec<String>,
     }
+    sentinel_util::impl_to_json!(OpDump { layer, op, kind, reads, writes });
     let spec = ModelSpec::resnet(32, 8).with_scale(cfg.scale().max(4));
     let graph = ModelZoo::build(&spec).expect("model builds");
     let mut dump = Vec::new();

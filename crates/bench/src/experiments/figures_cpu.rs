@@ -6,18 +6,17 @@ use sentinel_core::{fast_sized_for, SentinelConfig, SentinelPolicy};
 use sentinel_dnn::Executor;
 use sentinel_mem::{HmConfig, MemorySystem, MILLISECOND};
 use sentinel_models::{ModelSpec, ModelZoo};
-use serde::Serialize;
 
 /// Figure 5: performance versus migration interval length (ResNet-32).
 #[must_use]
 pub fn fig5(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Point {
         mil: usize,
         step_ns: u64,
         case2: u64,
         case3: u64,
     }
+    sentinel_util::impl_to_json!(Point { mil, step_ns, case2, case3 });
     let spec = ModelSpec::resnet(32, 64).with_scale(cfg.scale());
     let graph = ModelZoo::build(&spec).expect("model builds");
     let max_mil = graph.num_layers().min(16);
@@ -65,7 +64,6 @@ pub fn fig5(cfg: &ExpConfig) -> ExpResult {
 /// fast-only reference line).
 #[must_use]
 pub fn fig7(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         fast_only: f64,
@@ -73,6 +71,7 @@ pub fn fig7(cfg: &ExpConfig) -> ExpResult {
         autotm: f64,
         sentinel: f64,
     }
+    sentinel_util::impl_to_json!(Row { model, fast_only, ial, autotm, sentinel });
     let mut rows = Vec::new();
     for spec in cfg.small_batch_models() {
         let slow = run_cpu_baseline(Baseline::SlowOnly, &spec, 0.2, cfg.baseline_steps())
@@ -130,13 +129,13 @@ pub fn fig7(cfg: &ExpConfig) -> ExpResult {
 /// Figure 8: large-batch performance normalized to first-touch NUMA.
 #[must_use]
 pub fn fig8(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         memory_mode: f64,
         autotm: f64,
         sentinel: f64,
     }
+    sentinel_util::impl_to_json!(Row { model, memory_mode, autotm, sentinel });
     let mut rows = Vec::new();
     for spec in cfg.large_batch_models() {
         let ft = run_cpu_baseline(Baseline::FirstTouch, &spec, 0.2, cfg.baseline_steps())
@@ -178,7 +177,6 @@ pub fn fig8(cfg: &ExpConfig) -> ExpResult {
 /// IAL versus Sentinel.
 #[must_use]
 pub fn fig9(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Series {
         policy: String,
         bucket_ms: f64,
@@ -187,6 +185,7 @@ pub fn fig9(cfg: &ExpConfig) -> ExpResult {
         mean_fast_gbps: f64,
         mean_slow_gbps: f64,
     }
+    sentinel_util::impl_to_json!(Series { policy, bucket_ms, fast_gbps, slow_gbps, mean_fast_gbps, mean_slow_gbps });
     let spec = ModelSpec::resnet(32, 64).with_scale(cfg.scale());
     let graph = ModelZoo::build(&spec).expect("model builds");
     let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
@@ -264,12 +263,12 @@ pub fn fig9(cfg: &ExpConfig) -> ExpResult {
 /// Figure 10: sensitivity to fast-memory size (20–60% of peak).
 #[must_use]
 pub fn fig10(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         fractions: Vec<f64>,
         relative_to_fast_only: Vec<f64>,
     }
+    sentinel_util::impl_to_json!(Row { model, fractions, relative_to_fast_only });
     let fractions = [0.2, 0.3, 0.4, 0.5, 0.6];
     let mut rows = Vec::new();
     for spec in cfg.small_batch_models() {
@@ -310,13 +309,13 @@ pub fn fig10(cfg: &ExpConfig) -> ExpResult {
 /// at which Sentinel is within 5% of fast-only.
 #[must_use]
 pub fn fig11(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         depth: u32,
         peak_bytes: u64,
         min_fast_bytes: u64,
         min_fraction: f64,
     }
+    sentinel_util::impl_to_json!(Row { depth, peak_bytes, min_fast_bytes, min_fraction });
     let depths: &[u32] = if cfg.fast { &[20, 32, 56] } else { &[20, 32, 56, 110, 50, 101, 152, 200] };
     let mut rows = Vec::new();
     for &depth in depths {

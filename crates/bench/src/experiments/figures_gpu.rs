@@ -4,7 +4,6 @@ use crate::harness::{fx, run_gpu_baseline, run_sentinel_with, ExpConfig, ExpResu
 use sentinel_baselines::Baseline;
 use sentinel_core::{Ablation, SentinelConfig};
 use sentinel_mem::{HmConfig, MILLISECOND};
-use serde::Serialize;
 
 /// Fast-memory fractions standing in for the paper's three batch sizes at
 /// fixed 16 GB device memory (larger batch ⇒ smaller fraction of peak fits).
@@ -13,7 +12,6 @@ const GPU_PRESSURES: [f64; 3] = [0.8, 0.6, 0.45];
 /// Figure 12: GPU training throughput normalized to UM.
 #[must_use]
 pub fn fig12(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Cell {
         model: String,
         batch: u32,
@@ -25,6 +23,7 @@ pub fn fig12(cfg: &ExpConfig) -> ExpResult {
         capuchin: f64,
         sentinel_gpu: f64,
     }
+    sentinel_util::impl_to_json!(Cell { model, batch, pressure, um, vdnn, autotm, swapadvisor, capuchin, sentinel_gpu });
     let mut cells = Vec::new();
     for (name, specs) in cfg.gpu_models() {
         for (spec, &pressure) in specs.iter().zip(GPU_PRESSURES.iter()) {
@@ -96,13 +95,13 @@ pub fn fig12(cfg: &ExpConfig) -> ExpResult {
 /// the GPU baselines plus the Sentinel feature ablation.
 #[must_use]
 pub fn fig13(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         system: String,
         step_ms: f64,
         exposed_migration_pct: f64,
         recompute_pct: f64,
     }
+    sentinel_util::impl_to_json!(Row { system, step_ms, exposed_migration_pct, recompute_pct });
     // ResNet-50 at the middle batch: at the largest batch the simulated
     // PCIe channel is fully saturated and every policy collapses to the
     // transfer floor, which hides the technique differences the figure is

@@ -5,7 +5,6 @@ use sentinel_baselines::{Baseline, PolicyTraits};
 
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
-use serde::Serialize;
 
 fn flag(b: bool) -> &'static str {
     if b {
@@ -18,11 +17,11 @@ fn flag(b: bool) -> &'static str {
 /// Table I: qualitative comparison of memory-management systems.
 #[must_use]
 pub fn table1(_cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         system: String,
         traits: PolicyTraits,
     }
+    sentinel_util::impl_to_json!(Row { system, traits });
     let mut rows: Vec<Row> = [Baseline::Vdnn, Baseline::AutoTm, Baseline::SwapAdvisor, Baseline::Capuchin, Baseline::Ial]
         .iter()
         .map(|b| Row { system: b.name().to_owned(), traits: b.traits() })
@@ -77,7 +76,6 @@ pub fn table2(_cfg: &ExpConfig) -> ExpResult {
 /// steps and the profiling memory overhead.
 #[must_use]
 pub fn table3(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         batch: u32,
@@ -90,6 +88,7 @@ pub fn table3(cfg: &ExpConfig) -> ExpResult {
         case3_events: u64,
         profiling_overhead_pct: f64,
     }
+    sentinel_util::impl_to_json!(Row { model, batch, layers, tensors, peak_bytes, mil, profiling_steps, trial_steps, case3_events, profiling_overhead_pct });
     let mut rows = Vec::new();
     for spec in cfg.small_batch_models() {
         let graph = ModelZoo::build(&spec).expect("model builds");
@@ -149,13 +148,13 @@ pub fn table3(cfg: &ExpConfig) -> ExpResult {
 /// Table IV: tensor bytes migrated per steady-state step.
 #[must_use]
 pub fn table4(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         ial_bytes: u64,
         autotm_bytes: u64,
         sentinel_bytes: u64,
     }
+    sentinel_util::impl_to_json!(Row { model, ial_bytes, autotm_bytes, sentinel_bytes });
     let mut rows = Vec::new();
     for spec in cfg.small_batch_models() {
         let ial = run_cpu_baseline(Baseline::Ial, &spec, 0.2, cfg.baseline_steps())
@@ -260,7 +259,6 @@ fn required_fast_bytes(graph: &sentinel_dnn::Graph, policy: &str) -> u64 {
 /// Table V: maximum trainable batch size per system at fixed device memory.
 #[must_use]
 pub fn table5(cfg: &ExpConfig) -> ExpResult {
-    #[derive(Serialize)]
     struct Row {
         model: String,
         device_bytes: u64,
@@ -271,6 +269,7 @@ pub fn table5(cfg: &ExpConfig) -> ExpResult {
         capuchin: u32,
         sentinel: u32,
     }
+    sentinel_util::impl_to_json!(Row { model, device_bytes, tensorflow, vdnn, swapadvisor, autotm, capuchin, sentinel });
     let policies = ["tensorflow", "vdnn", "swapadvisor", "autotm", "capuchin", "sentinel"];
     let mut rows = Vec::new();
     for (name, specs) in cfg.gpu_models() {

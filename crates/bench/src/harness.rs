@@ -5,7 +5,7 @@ use sentinel_core::{fast_sized_for, SentinelConfig, SentinelOutcome, SentinelRun
 use sentinel_dnn::{ExecError, TrainReport};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
-use serde::Serialize;
+use sentinel_util::{Json, ToJson};
 
 /// Global experiment configuration.
 #[derive(Debug, Clone, Copy)]
@@ -109,7 +109,7 @@ impl ExpConfig {
 }
 
 /// One rendered experiment: a markdown section plus machine-readable data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpResult {
     /// Identifier, e.g. `"fig7"`.
     pub id: String,
@@ -118,17 +118,19 @@ pub struct ExpResult {
     /// Markdown body (table or series dump).
     pub markdown: String,
     /// Machine-readable payload.
-    pub data: serde_json::Value,
+    pub data: Json,
 }
+
+sentinel_util::impl_to_json!(ExpResult { id, title, markdown, data });
 
 impl ExpResult {
     /// Assemble a result, serializing `data`.
-    pub fn new<T: Serialize>(id: &str, title: &str, markdown: String, data: &T) -> Self {
+    pub fn new<T: ToJson>(id: &str, title: &str, markdown: String, data: &T) -> Self {
         ExpResult {
             id: id.to_owned(),
             title: title.to_owned(),
             markdown,
-            data: serde_json::to_value(data).unwrap_or(serde_json::Value::Null),
+            data: data.to_json(),
         }
     }
 }

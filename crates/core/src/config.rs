@@ -1,10 +1,9 @@
 //! Sentinel runtime configuration and ablation switches.
 
-use serde::{Deserialize, Serialize};
 
 /// How Sentinel resolves Case 3 — migrations that did not finish before the
 /// interval that needs their tensors (Section IV-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Case3Policy {
     /// The paper's default on CPU: spend one step waiting for migration and
     /// one step leaving tensors in slow memory, measure both, keep the
@@ -23,7 +22,7 @@ pub enum Case3Policy {
 }
 
 /// Feature-ablation level, matching the Figure 13 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ablation {
     /// "Direct tensor migration": no migration interval (no lookahead — a
     /// tensor is fetched when the layer that uses it starts) and no
@@ -37,7 +36,7 @@ pub enum Ablation {
 }
 
 /// Configuration of the Sentinel runtime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SentinelConfig {
     /// Unprofiled warmup steps before the profiling step (the paper skips
     /// TensorFlow's first 10 hardware-detection steps).
@@ -153,3 +152,26 @@ mod tests {
         assert_eq!(SentinelConfig::default().with_mil(0).mil_override, Some(1));
     }
 }
+
+impl sentinel_util::ToJson for Case3Policy {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(format!("{self:?}"))
+    }
+}
+
+impl sentinel_util::ToJson for Ablation {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(format!("{self:?}"))
+    }
+}
+
+sentinel_util::impl_to_json!(SentinelConfig {
+    profile_warmup,
+    coallocate,
+    reserve_short_lived,
+    lookahead,
+    mil_override,
+    case3,
+    hot_first,
+    gpu,
+});

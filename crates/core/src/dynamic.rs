@@ -13,7 +13,6 @@ use crate::policy::SentinelPolicy;
 use crate::runtime::fast_sized_for;
 use sentinel_dnn::{ExecError, Executor, Graph, StepReport};
 use sentinel_mem::{HmConfig, MemorySystem};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The paper bucketizes input sizes "into a small number of buckets (at most
@@ -60,7 +59,7 @@ impl DataflowTracker {
 }
 
 /// Outcome of a dynamic-graph training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DynamicOutcome {
     /// Steps executed per bucket, in bucket order.
     pub steps_per_bucket: Vec<usize>,
@@ -247,3 +246,5 @@ mod tests {
         );
     }
 }
+
+sentinel_util::impl_to_json!(DynamicOutcome { steps_per_bucket, profiling_steps, mil_per_bucket, steps });

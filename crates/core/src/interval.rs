@@ -14,10 +14,9 @@ use crate::schedule::Schedule;
 use sentinel_dnn::Graph;
 use sentinel_mem::Ns;
 use sentinel_profiler::ProfileReport;
-use serde::{Deserialize, Serialize};
 
 /// The chosen partition of a training step into migration intervals.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalPlan {
     /// Migration interval length, in layers.
     pub mil: usize,
@@ -69,7 +68,7 @@ impl IntervalPlan {
 }
 
 /// Per-candidate diagnostics from the solver (useful for Figure 5 analyses).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MilCandidate {
     /// Candidate interval length.
     pub mil: usize,
@@ -84,7 +83,7 @@ pub struct MilCandidate {
 }
 
 /// Solver output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MilSolution {
     /// Chosen interval length.
     pub mil: usize,
@@ -247,3 +246,7 @@ mod tests {
         assert!(with.mil <= without.mil);
     }
 }
+
+sentinel_util::impl_to_json!(IntervalPlan { mil, num_layers });
+sentinel_util::impl_to_json!(MilCandidate { mil, tensor_bytes, feasible, interval_time_ns, objective_ns });
+sentinel_util::impl_to_json!(MilSolution { mil, candidates });

@@ -14,11 +14,10 @@ use crate::schedule::Schedule;
 use sentinel_dnn::{ExecCtx, MemoryManager, PoolSpec, Tensor, TensorId};
 use sentinel_mem::{pages_for_bytes, Ns, PageRange, Tier};
 use sentinel_profiler::{ProfileReport, TensorProfile};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters describing one Sentinel run (Table III / IV material).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SentinelStats {
     /// Migration interval length chosen by the solver (or override).
     pub mil: usize,
@@ -698,3 +697,15 @@ mod tests {
         assert_eq!(SentinelPolicy::new(SentinelConfig::gpu()).name(), "sentinel-gpu");
     }
 }
+
+sentinel_util::impl_to_json!(SentinelStats {
+    mil,
+    case2_events,
+    case3_events,
+    trial_steps,
+    profiling_steps,
+    reserve_pages,
+    stall_case3_ns,
+    stall_fault_ns,
+    stall_pressure_ns,
+});

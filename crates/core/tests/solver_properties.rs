@@ -1,47 +1,70 @@
-//! Property tests for the interval plan and the Eq. 1/2 solver.
+//! Property tests for the interval plan and the Eq. 1/2 solver, on the
+//! in-tree deterministic harness (`sentinel_util::prop`).
 
-use proptest::prelude::*;
 use sentinel_core::{solve_mil, IntervalPlan, Schedule};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
 use sentinel_profiler::Profiler;
+use sentinel_util::prop::{check, shrink_usize};
+use sentinel_util::{prop_assert, prop_assert_eq, Rng};
 
-proptest! {
-    #[test]
-    fn interval_plan_partitions_layers_exactly(
-        mil in 1usize..40,
-        layers in 1usize..120
-    ) {
-        let p = IntervalPlan::new(mil, layers);
-        // Every layer belongs to exactly one interval, intervals tile the step.
-        let mut covered = vec![false; layers];
-        for k in 0..p.num_intervals() {
-            let (s, e) = (p.start_layer(k), p.end_layer(k));
-            prop_assert!(s < e || (s == e && k + 1 == p.num_intervals()));
-            for l in s..e {
-                prop_assert!(!covered[l], "layer {} covered twice", l);
-                covered[l] = true;
-                prop_assert_eq!(p.interval_of(l), k);
-            }
-        }
-        prop_assert!(covered.iter().all(|&c| c));
-        // Interval starts are exactly the multiples of mil.
-        for l in 0..layers {
-            prop_assert_eq!(p.is_interval_start(l), l % p.mil == 0);
-        }
+/// Shrink both coordinates of a (mil, layers) pair toward their lower bounds.
+fn shrink_pair(mil_lo: usize, layers_lo: usize) -> impl Fn(&(usize, usize)) -> Vec<(usize, usize)> {
+    move |&(mil, layers)| {
+        let mut out: Vec<(usize, usize)> =
+            shrink_usize(mil_lo)(&mil).into_iter().map(|m| (m, layers)).collect();
+        out.extend(shrink_usize(layers_lo)(&layers).into_iter().map(|l| (mil, l)));
+        out
     }
+}
 
-    #[test]
-    fn plan_boundaries_are_monotone(mil in 1usize..20, layers in 1usize..80) {
-        let p = IntervalPlan::new(mil, layers);
-        for k in 0..p.num_intervals() {
-            prop_assert!(p.start_layer(k) <= p.end_layer(k));
-            if k > 0 {
-                prop_assert_eq!(p.start_layer(k), p.end_layer(k - 1));
+#[test]
+fn interval_plan_partitions_layers_exactly() {
+    check(
+        "interval_plan_partitions_layers_exactly",
+        |rng: &mut Rng| (rng.gen_usize(1, 40), rng.gen_usize(1, 120)),
+        shrink_pair(1, 1),
+        |&(mil, layers)| {
+            let p = IntervalPlan::new(mil, layers);
+            // Every layer belongs to exactly one interval, intervals tile the step.
+            let mut covered = vec![false; layers];
+            for k in 0..p.num_intervals() {
+                let (s, e) = (p.start_layer(k), p.end_layer(k));
+                prop_assert!(s < e || (s == e && k + 1 == p.num_intervals()));
+                for l in s..e {
+                    prop_assert!(!covered[l], "layer {} covered twice", l);
+                    covered[l] = true;
+                    prop_assert_eq!(p.interval_of(l), k);
+                }
             }
-        }
-        prop_assert_eq!(p.end_layer(p.num_intervals() - 1), layers);
-    }
+            prop_assert!(covered.iter().all(|&c| c));
+            // Interval starts are exactly the multiples of mil.
+            for l in 0..layers {
+                prop_assert_eq!(p.is_interval_start(l), l % p.mil == 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn plan_boundaries_are_monotone() {
+    check(
+        "plan_boundaries_are_monotone",
+        |rng: &mut Rng| (rng.gen_usize(1, 20), rng.gen_usize(1, 80)),
+        shrink_pair(1, 1),
+        |&(mil, layers)| {
+            let p = IntervalPlan::new(mil, layers);
+            for k in 0..p.num_intervals() {
+                prop_assert!(p.start_layer(k) <= p.end_layer(k));
+                if k > 0 {
+                    prop_assert_eq!(p.start_layer(k), p.end_layer(k - 1));
+                }
+            }
+            prop_assert_eq!(p.end_layer(p.num_intervals() - 1), layers);
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -3,14 +3,13 @@
 use crate::error::GraphError;
 use crate::op::{Op, Operand};
 use crate::tensor::{OpRef, Tensor, TensorId, TensorKind};
-use serde::{Deserialize, Serialize};
 
 /// A named group of operations — the paper's unit of tensor management.
 ///
 /// One "layer" here is one segment delimited by the paper's `add_layer()`
 /// API call: a training step is the full flat sequence of layers (forward
 /// layers followed by backward layers and the weight update).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Debug name, e.g. `"res3b/fwd"` or `"res3b/bwd"`.
     pub name: String,
@@ -19,7 +18,7 @@ pub struct Layer {
 }
 
 /// A complete training-step graph for one model at one batch size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     name: String,
     batch: usize,
@@ -460,3 +459,6 @@ mod tests {
         assert_eq!(g.largest_long_lived_bytes(), 300); // act
     }
 }
+
+sentinel_util::impl_to_json!(Layer { name, ops });
+sentinel_util::impl_to_json!(Graph { name, batch, tensors, layers });

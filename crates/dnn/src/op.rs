@@ -1,7 +1,6 @@
 //! Operations and their analytic cost model.
 
 use crate::tensor::TensorId;
-use serde::{Deserialize, Serialize};
 
 /// The kind of a dataflow operation.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// (ResNet, BERT, LSTM, MobileNet, DCGAN) plus the tensor-processing helper
 /// ops the paper highlights as sources of short-lived temporaries (padding,
 /// transpose, expansion, concatenation, squeeze — Section III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum OpKind {
     /// 2-D convolution (`nn.conv2d`).
@@ -69,7 +68,7 @@ impl OpKind {
 /// convolution re-reads the input; attention re-reads keys per query block).
 /// Combined with the cache filter this produces the skewed per-tensor
 /// main-memory access counts of the paper's Observation 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Operand {
     /// The tensor referenced.
     pub tensor: TensorId,
@@ -98,7 +97,7 @@ impl From<TensorId> for Operand {
 }
 
 /// A dataflow operation: reads some tensors, computes, writes others.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Op {
     /// Debug name, e.g. `"res2a/conv1"`.
     pub name: String,
@@ -163,3 +162,12 @@ mod tests {
         assert_eq!(op.referenced().count(), 2);
     }
 }
+
+impl sentinel_util::ToJson for OpKind {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(format!("{self:?}"))
+    }
+}
+
+sentinel_util::impl_to_json!(Operand { tensor, passes });
+sentinel_util::impl_to_json!(Op { name, kind, flops, reads, writes });

@@ -1,10 +1,9 @@
 //! Step and training reports.
 
 use sentinel_mem::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Where the time of one training step went.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StepBreakdown {
     /// Operator compute time.
     pub compute_ns: Ns,
@@ -27,7 +26,7 @@ impl StepBreakdown {
 }
 
 /// Outcome of one training step.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StepReport {
     /// Step index (0-based).
     pub step: usize,
@@ -60,7 +59,7 @@ impl StepReport {
 }
 
 /// Outcome of a whole training run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainReport {
     /// Model name.
     pub model: String,
@@ -199,3 +198,26 @@ mod tests {
         assert_eq!(s.migrated_bytes(), 15);
     }
 }
+
+sentinel_util::impl_to_json!(StepBreakdown {
+    compute_ns,
+    memory_ns,
+    stall_ns,
+    recompute_ns,
+    profiling_fault_ns,
+});
+
+sentinel_util::impl_to_json!(StepReport {
+    step,
+    duration_ns,
+    breakdown,
+    promoted_bytes,
+    demoted_bytes,
+    fast_accesses,
+    slow_accesses,
+    faults,
+    peak_fast_pages,
+    peak_total_pages,
+});
+
+sentinel_util::impl_to_json!(TrainReport { model, policy, batch, steps });

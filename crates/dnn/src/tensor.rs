@@ -1,10 +1,9 @@
 //! Tensors: the unit of memory management in Sentinel.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a tensor within one [`crate::Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TensorId(pub u32);
 
 impl TensorId {
@@ -27,7 +26,7 @@ impl fmt::Display for TensorId {
 /// The kinds exist for the benefit of baselines that do use domain knowledge
 /// (vDNN offloads convolution inputs; Capuchin recomputes activations) and
 /// for characterization reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorKind {
     /// Training batch input, allocated before the training loop.
     Input,
@@ -57,7 +56,7 @@ impl TensorKind {
 }
 
 /// Reference to one operation inside a graph: `(layer index, op index)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpRef {
     /// Index of the layer in [`crate::Graph::layers`].
     pub layer: usize,
@@ -66,7 +65,7 @@ pub struct OpRef {
 }
 
 /// A tensor: size, role and (statically derived) live range.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     /// Identifier within the graph.
     pub id: TensorId,
@@ -205,3 +204,18 @@ mod tests {
         assert_eq!(t.layer_span(), None);
     }
 }
+
+impl sentinel_util::ToJson for TensorId {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::U64(u64::from(self.0))
+    }
+}
+
+impl sentinel_util::ToJson for TensorKind {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(format!("{self:?}"))
+    }
+}
+
+sentinel_util::impl_to_json!(OpRef { layer, op });
+sentinel_util::impl_to_json!(Tensor { id, name, bytes, kind, first_ref, last_ref });

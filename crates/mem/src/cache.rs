@@ -9,10 +9,9 @@
 //! misses go to the backing tier and are counted.
 
 use crate::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`CacheFilter`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheFilterSpec {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -252,3 +251,11 @@ mod tests {
         assert!(c.hit_time_ns(10_000) > c.hit_time_ns(100));
     }
 }
+
+sentinel_util::impl_to_json!(CacheFilterSpec {
+    capacity_bytes,
+    ways,
+    line_bytes,
+    hit_latency_ns,
+    hit_bw_bytes_per_ns,
+});

@@ -3,10 +3,9 @@
 use crate::cache::CacheFilterSpec;
 use crate::page::PAGE_SIZE_DEFAULT;
 use crate::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Performance and capacity specification of one memory tier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TierSpec {
     /// Capacity in bytes.
     pub capacity_bytes: u64,
@@ -52,7 +51,7 @@ pub struct GpuHmPreset;
 /// The presets correspond to the two platforms of the paper's Table II:
 /// [`HmConfig::optane_like`] models DDR4 + Optane DC PMM in App-direct mode,
 /// and [`HmConfig::gpu_like`] models V100 HBM2 + host DRAM over PCIe 3.0.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HmConfig {
     /// Human-readable platform name.
     pub name: String,
@@ -277,3 +276,25 @@ mod tests {
         assert!(cfg.cache.is_none());
     }
 }
+
+sentinel_util::impl_to_json!(TierSpec {
+    capacity_bytes,
+    read_latency_ns,
+    write_latency_ns,
+    read_bw_bytes_per_ns,
+    write_bw_bytes_per_ns,
+});
+
+sentinel_util::impl_to_json!(HmConfig {
+    name,
+    fast,
+    slow,
+    page_size,
+    promote_bw_bytes_per_ns,
+    demote_bw_bytes_per_ns,
+    migration_setup_ns,
+    fault_overhead_ns,
+    slow_directly_accessible,
+    cache,
+    compute_flops_per_ns,
+});

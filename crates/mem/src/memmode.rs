@@ -8,10 +8,9 @@
 //! misses, and every miss pays PMM latency plus fill traffic.
 
 use crate::{HmConfig, Ns, Tier};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`MemoryModeCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryModeSpec {
     /// DRAM cache capacity in pages (the usable fast-tier size).
     pub capacity_pages: u64,
@@ -45,7 +44,7 @@ impl MemoryModeSpec {
 }
 
 /// Counters for the Memory-Mode cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryModeStats {
     /// DRAM cache hits.
     pub hits: u64,
@@ -236,3 +235,6 @@ mod tests {
         assert_eq!(spec.capacity_pages, c.fast_pages());
     }
 }
+
+sentinel_util::impl_to_json!(MemoryModeSpec { capacity_pages, ways, tag_check_ns });
+sentinel_util::impl_to_json!(MemoryModeStats { hits, misses, writebacks });

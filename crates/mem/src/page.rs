@@ -1,6 +1,5 @@
 //! Virtual pages and page ranges.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Default page size, matching the 4 KiB base pages the paper profiles at.
@@ -26,7 +25,7 @@ pub fn pages_for_bytes(bytes: u64, page_size: u64) -> u64 {
 }
 
 /// A contiguous range of virtual pages: `[first, first + count)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PageRange {
     /// First virtual page number in the range.
     pub first: u64,
@@ -159,3 +158,5 @@ mod tests {
         let _ = pages_for_bytes(1, 0);
     }
 }
+
+sentinel_util::impl_to_json!(PageRange { first, count });

@@ -5,10 +5,9 @@
 //! fixed time windows so the same plot can be regenerated.
 
 use crate::{Ns, Tier};
-use serde::{Deserialize, Serialize};
 
 /// One bandwidth sample: bytes moved per tier within one time bucket.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BandwidthSample {
     /// Bucket start time.
     pub start_ns: Ns,
@@ -33,7 +32,7 @@ impl BandwidthSample {
 }
 
 /// Bytes-per-tier bucketed over simulated time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StatsTimeline {
     bucket_ns: Ns,
     buckets: Vec<BandwidthSample>,
@@ -81,7 +80,7 @@ impl StatsTimeline {
 }
 
 /// Aggregate memory-system counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemStats {
     /// Bytes read from each tier (index via [`Tier::index`]).
     pub bytes_read: [u64; 2],
@@ -168,5 +167,27 @@ mod tests {
         s.bytes_written[Tier::Fast.index()] = 4;
         assert_eq!(s.tier_bytes(Tier::Fast), 14);
         assert_eq!(s.tier_bytes(Tier::Slow), 0);
+    }
+}
+
+sentinel_util::impl_to_json!(BandwidthSample { start_ns, fast_bytes, slow_bytes });
+
+sentinel_util::impl_to_json!(MemStats {
+    bytes_read,
+    bytes_written,
+    mm_accesses,
+    cache_hits,
+    profiling_faults,
+    promoted_bytes,
+    demoted_bytes,
+    peak_mapped_pages,
+});
+
+impl sentinel_util::ToJson for StatsTimeline {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::obj([
+            ("bucket_ns", sentinel_util::ToJson::to_json(&self.bucket_ns)),
+            ("samples", sentinel_util::ToJson::to_json(&self.buckets)),
+        ])
     }
 }

@@ -1,6 +1,5 @@
 //! The two tiers of a heterogeneous memory.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A memory tier in a two-tier heterogeneous memory system.
@@ -8,7 +7,7 @@ use std::fmt;
 /// In the paper's Optane platform `Fast` is DDR4 DRAM and `Slow` is Optane DC
 /// persistent memory; in the GPU platform `Fast` is on-device HBM and `Slow`
 /// is host DRAM reached over PCIe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tier {
     /// The small, high-performance tier (DRAM / HBM).
     Fast,
@@ -79,5 +78,11 @@ mod tests {
     fn display_is_lowercase() {
         assert_eq!(Tier::Fast.to_string(), "fast");
         assert_eq!(Tier::Slow.to_string(), "slow");
+    }
+}
+
+impl sentinel_util::ToJson for Tier {
+    fn to_json(&self) -> sentinel_util::Json {
+        sentinel_util::Json::Str(format!("{self:?}"))
     }
 }

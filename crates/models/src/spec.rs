@@ -1,9 +1,8 @@
 //! Model specifications: family, depth/size parameters, batch and scale.
 
-use serde::{Deserialize, Serialize};
 
 /// The five model families evaluated in the paper (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// ResNet image classifier. CIFAR-style topology for depths
     /// `20/32/44/56/110` (6n+2), ImageNet bottleneck topology for
@@ -35,7 +34,7 @@ pub enum ModelFamily {
 }
 
 /// A concrete model instantiation: family + batch size + optional scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelSpec {
     /// Which network.
     pub family: ModelFamily,
@@ -160,3 +159,30 @@ mod tests {
         assert_eq!(ModelSpec::paper_large_batch().len(), 5);
     }
 }
+
+impl sentinel_util::ToJson for ModelFamily {
+    fn to_json(&self) -> sentinel_util::Json {
+        use sentinel_util::Json;
+        match self {
+            ModelFamily::ResNet { depth } => {
+                Json::obj([("ResNet", Json::obj([("depth", depth.to_json())]))])
+            }
+            ModelFamily::Bert { layers, hidden, seq } => Json::obj([(
+                "Bert",
+                Json::obj([
+                    ("layers", layers.to_json()),
+                    ("hidden", hidden.to_json()),
+                    ("seq", seq.to_json()),
+                ]),
+            )]),
+            ModelFamily::Lstm { hidden, timesteps } => Json::obj([(
+                "Lstm",
+                Json::obj([("hidden", hidden.to_json()), ("timesteps", timesteps.to_json())]),
+            )]),
+            ModelFamily::MobileNet => Json::Str("MobileNet".to_owned()),
+            ModelFamily::Dcgan => Json::Str("Dcgan".to_owned()),
+        }
+    }
+}
+
+sentinel_util::impl_to_json!(ModelSpec { family, batch, scale });

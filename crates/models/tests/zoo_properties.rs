@@ -1,29 +1,39 @@
 //! Property tests over the model zoo: every generated graph is structurally
 //! valid and its tensor population keeps the paper's characteristic shape.
+//! Runs on the in-tree deterministic harness (`sentinel_util::prop`).
 
-use proptest::prelude::*;
 use sentinel_models::{ModelFamily, ModelSpec, ModelZoo};
+use sentinel_util::prop::{no_shrink, PropConfig};
+use sentinel_util::{prop_assert, prop_assert_eq, Rng};
 
-fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
-    let family = prop_oneof![
-        prop::sample::select(vec![20u32, 32, 44, 56]).prop_map(|d| ModelFamily::ResNet { depth: d }),
-        (2u32..6, prop::sample::select(vec![256u32, 512]), prop::sample::select(vec![16u32, 32]))
-            .prop_map(|(l, h, s)| ModelFamily::Bert { layers: l, hidden: h, seq: s }),
-        (prop::sample::select(vec![128u32, 256]), 3u32..8)
-            .prop_map(|(h, t)| ModelFamily::Lstm { hidden: h, timesteps: t }),
-        Just(ModelFamily::MobileNet),
-        Just(ModelFamily::Dcgan),
-    ];
-    (family, prop::sample::select(vec![1u32, 2, 4, 8]), prop::sample::select(vec![4u32, 8]))
-        .prop_map(|(family, batch, scale)| ModelSpec { family, batch, scale })
+fn gen_spec(rng: &mut Rng) -> ModelSpec {
+    let family = match rng.gen_usize(0, 5) {
+        0 => ModelFamily::ResNet { depth: *rng.choose(&[20u32, 32, 44, 56]) },
+        1 => ModelFamily::Bert {
+            layers: rng.gen_range(2, 6) as u32,
+            hidden: *rng.choose(&[256u32, 512]),
+            seq: *rng.choose(&[16u32, 32]),
+        },
+        2 => ModelFamily::Lstm {
+            hidden: *rng.choose(&[128u32, 256]),
+            timesteps: rng.gen_range(3, 8) as u32,
+        },
+        3 => ModelFamily::MobileNet,
+        _ => ModelFamily::Dcgan,
+    };
+    let batch = *rng.choose(&[1u32, 2, 4, 8]);
+    let scale = *rng.choose(&[4u32, 8]);
+    ModelSpec { family, batch, scale }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases() -> PropConfig {
+    PropConfig::from_env().with_cases(48)
+}
 
-    #[test]
-    fn every_spec_builds_a_valid_graph(spec in spec_strategy()) {
-        let g = ModelZoo::build(&spec).unwrap();
+#[test]
+fn every_spec_builds_a_valid_graph() {
+    cases().run("every_spec_builds_a_valid_graph", gen_spec, no_shrink(), |spec| {
+        let g = ModelZoo::build(spec).unwrap();
         prop_assert!(g.num_layers() >= 3);
         prop_assert!(g.num_tensors() > 5);
         prop_assert!(g.peak_live_bytes() > 0);
@@ -36,49 +46,64 @@ proptest! {
             }
             prop_assert!(t.bytes > 0, "{}", t.name);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn peak_metrics_are_ordered(spec in spec_strategy()) {
-        let g = ModelZoo::build(&spec).unwrap();
+#[test]
+fn peak_metrics_are_ordered() {
+    cases().run("peak_metrics_are_ordered", gen_spec, no_shrink(), |spec| {
+        let g = ModelZoo::build(spec).unwrap();
         // Concurrent short-lived peak ≤ layer-granular short-lived peak ≤ peak.
         prop_assert!(g.peak_short_lived_concurrent_bytes() <= g.peak_short_lived_bytes());
         prop_assert!(g.peak_short_lived_bytes() <= g.peak_live_bytes());
         prop_assert!(g.preallocated_bytes() <= g.peak_live_bytes());
         prop_assert!(g.largest_long_lived_bytes() <= g.peak_live_bytes());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn batch_scaling_is_monotone(
-        base in spec_strategy(),
-        factor in prop::sample::select(vec![2u32, 4])
-    ) {
-        let small = ModelZoo::build(&base).unwrap();
-        let large = ModelZoo::build(&ModelSpec { batch: base.batch * factor, ..base }).unwrap();
-        prop_assert!(large.peak_live_bytes() >= small.peak_live_bytes());
-        prop_assert!(large.total_flops() >= small.total_flops());
-        // Layer structure does not depend on batch size.
-        prop_assert_eq!(large.num_layers(), small.num_layers());
-        prop_assert_eq!(large.num_tensors(), small.num_tensors());
-    }
+#[test]
+fn batch_scaling_is_monotone() {
+    cases().run(
+        "batch_scaling_is_monotone",
+        |rng: &mut Rng| (gen_spec(rng), *rng.choose(&[2u32, 4])),
+        no_shrink(),
+        |&(base, factor)| {
+            let small = ModelZoo::build(&base).unwrap();
+            let large = ModelZoo::build(&ModelSpec { batch: base.batch * factor, ..base }).unwrap();
+            prop_assert!(large.peak_live_bytes() >= small.peak_live_bytes());
+            prop_assert!(large.total_flops() >= small.total_flops());
+            // Layer structure does not depend on batch size.
+            prop_assert_eq!(large.num_layers(), small.num_layers());
+            prop_assert_eq!(large.num_tensors(), small.num_tensors());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scale_shrinks_memory_but_not_structure(base in spec_strategy()) {
-        let g1 = ModelZoo::build(&base).unwrap();
+#[test]
+fn scale_shrinks_memory_but_not_structure() {
+    cases().run("scale_shrinks_memory_but_not_structure", gen_spec, no_shrink(), |base| {
+        let g1 = ModelZoo::build(base).unwrap();
         let g2 = ModelZoo::build(&base.with_scale(base.scale * 2)).unwrap();
         prop_assert!(g2.peak_live_bytes() <= g1.peak_live_bytes());
         prop_assert_eq!(g1.num_layers(), g2.num_layers());
         prop_assert_eq!(g1.num_tensors(), g2.num_tensors());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn graphs_keep_the_papers_population_shape(spec in spec_strategy()) {
-        let g = ModelZoo::build(&spec).unwrap();
+#[test]
+fn graphs_keep_the_papers_population_shape() {
+    cases().run("graphs_keep_the_papers_population_shape", gen_spec, no_shrink(), |spec| {
+        let g = ModelZoo::build(spec).unwrap();
         let short = g.tensors().iter().filter(|t| t.is_short_lived()).count();
         let frac = short as f64 / g.num_tensors() as f64;
         // Observation 1 shape: a large short-lived population everywhere.
         prop_assert!(frac > 0.25, "{}: short-lived fraction {:.2}", g.name(), frac);
         // Weights exist and persist.
         prop_assert!(g.preallocated().count() > 0);
-    }
+        Ok(())
+    });
 }

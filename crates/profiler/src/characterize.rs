@@ -2,10 +2,9 @@
 
 use crate::profile::ProfileReport;
 use sentinel_dnn::Graph;
-use serde::{Deserialize, Serialize};
 
 /// One hotness bucket of the access-count histogram.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HotBucket {
     /// Human-readable label, e.g. `"1-10"`.
     pub label: String,
@@ -20,7 +19,7 @@ pub struct HotBucket {
 }
 
 /// Aggregate characterization of one model's tensor population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Characterization {
     /// Model name.
     pub model: String,
@@ -132,3 +131,16 @@ mod tests {
         assert!(c.peak_short_lived_bytes > 0);
     }
 }
+
+sentinel_util::impl_to_json!(HotBucket { label, min_accesses, max_accesses, tensor_count, bytes });
+
+sentinel_util::impl_to_json!(Characterization {
+    model,
+    total_tensors,
+    small_fraction,
+    short_lived_fraction,
+    small_among_short_fraction,
+    peak_bytes,
+    peak_short_lived_bytes,
+    hotness,
+});

@@ -11,10 +11,9 @@ use crate::profile::ProfileReport;
 use crate::run::Profiler;
 use sentinel_dnn::{ExecCtx, ExecError, Executor, Graph, MemoryManager, PoolSpec, Tensor, TensorId};
 use sentinel_mem::{HmConfig, MemorySystem, Tier};
-use serde::{Deserialize, Serialize};
 
 /// Tensor-level vs page-level view of cold memory under packed allocation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FalseSharingReport {
     /// Model name.
     pub model: String,
@@ -163,3 +162,12 @@ mod tests {
         assert_eq!(r.cold_threshold, 10);
     }
 }
+
+sentinel_util::impl_to_json!(FalseSharingReport {
+    model,
+    cold_threshold,
+    cold_tensor_bytes,
+    cold_page_bytes,
+    shared_pages,
+    total_pages,
+});

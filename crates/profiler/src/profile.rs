@@ -2,12 +2,11 @@
 
 use sentinel_dnn::{TensorId, TensorKind};
 use sentinel_mem::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Profiled characteristics of one tensor (paper Section III-A): size,
 /// lifetime and the number of *main-memory* accesses observed during the
 /// profiling step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TensorProfile {
     /// Tensor id within the profiled graph.
     pub id: TensorId,
@@ -40,7 +39,7 @@ impl TensorProfile {
 }
 
 /// Result of a tensor-level profiling step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
     /// Model name.
     pub model: String,
@@ -173,3 +172,25 @@ mod tests {
         assert!(!t.is_small(1024));
     }
 }
+
+sentinel_util::impl_to_json!(TensorProfile {
+    id,
+    bytes,
+    kind,
+    short_lived,
+    layer_span,
+    mm_accesses,
+    page_faults,
+    pages,
+});
+
+sentinel_util::impl_to_json!(ProfileReport {
+    model,
+    page_size,
+    tensors,
+    layer_times_ns,
+    profiling_step_ns,
+    faults,
+    peak_short_lived_bytes,
+    peak_live_bytes,
+});

@@ -1,0 +1,26 @@
+//! Zero-dependency runtime utilities shared by every Sentinel crate.
+//!
+//! The build environment has no registry access, so the workspace is
+//! hermetic by policy: anything that would normally come from an external
+//! crate lives here instead. Four small subsystems:
+//!
+//! - [`rng`] — seeded SplitMix64 / xoshiro256** pseudo-random numbers
+//!   (replaces `rand` for the deterministic GA search and test generators),
+//! - [`json`] — a JSON value, writer and parser plus the derive-free
+//!   [`ToJson`] trait (replaces `serde`/`serde_json` for experiment and
+//!   report output),
+//! - [`prop`] — a deterministic property-test harness with seeded case
+//!   generation and input minimization on failure (replaces `proptest`),
+//! - [`timing`] — a wall-clock benchmark harness with warmup, repeated
+//!   iterations and median/p10/p90 summary written as JSON (replaces
+//!   `criterion`).
+
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod timing;
+
+pub use json::{Json, JsonError, ToJson};
+pub use prop::{check, no_shrink, shrink_u64, shrink_usize, shrink_vec, PropConfig};
+pub use rng::{Rng, SplitMix64};
+pub use timing::{suite_json, BenchResult, Bencher};

@@ -1,0 +1,170 @@
+//! A lightweight wall-clock benchmark harness: warmup, N measured
+//! iterations, median/p10/p90 summary, JSON output. The workspace's
+//! replacement for `criterion`.
+
+use crate::json::{Json, ToJson};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Summary statistics for one benchmark, all in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    pub name: String,
+    pub warmup_iters: u32,
+    pub iters: u32,
+    pub median_ns: u64,
+    pub p10_ns: u64,
+    pub p90_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+crate::impl_to_json!(BenchResult {
+    name,
+    warmup_iters,
+    iters,
+    median_ns,
+    p10_ns,
+    p90_ns,
+    min_ns,
+    max_ns,
+    mean_ns,
+});
+
+impl BenchResult {
+    /// One human-readable summary line.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<44} median {:>12} ns  p10 {:>12} ns  p90 {:>12} ns  ({} iters)",
+            self.name, self.median_ns, self.p10_ns, self.p90_ns, self.iters
+        )
+    }
+}
+
+/// Benchmark runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Bencher {
+    pub warmup_iters: u32,
+    pub iters: u32,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher { warmup_iters: 2, iters: 10 }
+    }
+}
+
+impl Bencher {
+    /// A runner with explicit warmup and measured iteration counts.
+    #[must_use]
+    pub fn new(warmup_iters: u32, iters: u32) -> Self {
+        Bencher { warmup_iters, iters: iters.max(1) }
+    }
+
+    /// Measure `f` (its return value is `black_box`ed so the optimizer
+    /// cannot delete the work) and summarize the per-iteration wall time.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
+        let mut samples_ns: Vec<u64> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples_ns.push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        samples_ns.sort_unstable();
+        let sum: u128 = samples_ns.iter().map(|&s| u128::from(s)).sum();
+        BenchResult {
+            name: name.to_owned(),
+            warmup_iters: self.warmup_iters,
+            iters: self.iters,
+            median_ns: median(&samples_ns),
+            p10_ns: percentile(&samples_ns, 10),
+            p90_ns: percentile(&samples_ns, 90),
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("iters >= 1"),
+            mean_ns: sum as f64 / samples_ns.len() as f64,
+        }
+    }
+}
+
+/// Median of an ascending-sorted slice (mean of the middle pair when even).
+#[must_use]
+pub fn median(sorted_ns: &[u64]) -> u64 {
+    assert!(!sorted_ns.is_empty(), "median of empty sample set");
+    let n = sorted_ns.len();
+    if n % 2 == 1 {
+        sorted_ns[n / 2]
+    } else {
+        (sorted_ns[n / 2 - 1] + sorted_ns[n / 2]) / 2
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice, `q` in `0..=100`.
+#[must_use]
+pub fn percentile(sorted_ns: &[u64], q: u32) -> u64 {
+    assert!(!sorted_ns.is_empty(), "percentile of empty sample set");
+    assert!(q <= 100, "percentile out of range: {q}");
+    let n = sorted_ns.len();
+    let rank = (u64::from(q) * n as u64).div_ceil(100).max(1) as usize;
+    sorted_ns[rank - 1]
+}
+
+/// Assemble the canonical benchmark-suite JSON document.
+#[must_use]
+pub fn suite_json(label: &str, results: &[BenchResult]) -> Json {
+    Json::obj([
+        ("label", Json::Str(label.to_owned())),
+        ("benchmarks", results.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 10), 1);
+        assert_eq!(percentile(&s, 50), 5);
+        assert_eq!(percentile(&s, 90), 9);
+        assert_eq!(percentile(&s, 100), 10);
+        assert_eq!(percentile(&s, 0), 1);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[1, 3, 5]), 3);
+        assert_eq!(median(&[1, 3, 5, 7]), 4);
+    }
+
+    #[test]
+    fn run_produces_ordered_stats() {
+        let r = Bencher::new(1, 16).run("noop", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(r.iters, 16);
+        assert!(r.min_ns <= r.p10_ns);
+        assert!(r.p10_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p90_ns);
+        assert!(r.p90_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn suite_json_shape() {
+        let r = Bencher::new(0, 2).run("x", || 1);
+        let j = suite_json("seed", &[r]);
+        let text = j.to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("label"), Some(&Json::Str("seed".into())));
+        assert!(matches!(back.get("benchmarks"), Some(Json::Arr(v)) if v.len() == 1));
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Verify the workspace builds and tests fully offline and depends on nothing
+# outside the tree: Cargo.lock and the resolved dependency graph must contain
+# only sentinel-* packages. See README.md "Building" for the policy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline test suite =="
+cargo test -q --offline
+
+echo "== dependency closure is sentinel-* only =="
+bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
+if [[ -n "$bad_lock" ]]; then
+    echo "FAIL: non-sentinel packages in Cargo.lock:" >&2
+    echo "$bad_lock" >&2
+    exit 1
+fi
+bad_tree=$(cargo tree --workspace --offline --prefix none | awk '{print $1}' \
+    | sort -u | grep -v '^sentinel' || true)
+if [[ -n "$bad_tree" ]]; then
+    echo "FAIL: non-sentinel packages in cargo tree:" >&2
+    echo "$bad_tree" >&2
+    exit 1
+fi
+
+echo "OK: hermetic (build + tests offline, sentinel-* packages only)"

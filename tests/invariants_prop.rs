@@ -1,42 +1,71 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants, on the
+//! in-tree deterministic harness (`sentinel_util::prop`).
 
-use proptest::prelude::*;
 use sentinel::dnn::{PoolSpec, SegmentAllocator};
 use sentinel::mem::{
     pages_for_bytes, AccessKind, CacheFilter, CacheFilterSpec, Direction, HmConfig, MemorySystem,
     MigrationEngine, PageRange, Tier,
 };
+use sentinel_util::prop::{check, no_shrink, shrink_u64, shrink_vec, PropConfig};
+use sentinel_util::{prop_assert, prop_assert_eq, Rng};
 
 // ---------------------------------------------------------------- PageRange
 
-proptest! {
-    #[test]
-    fn overlap_is_symmetric(a in 0u64..100, ac in 0u64..20, b in 0u64..100, bc in 0u64..20) {
-        let ra = PageRange::new(a, ac);
-        let rb = PageRange::new(b, bc);
-        prop_assert_eq!(ra.overlaps(&rb), rb.overlaps(&ra));
-    }
+#[test]
+fn overlap_is_symmetric() {
+    check(
+        "overlap_is_symmetric",
+        |rng: &mut Rng| {
+            (rng.gen_range(0, 100), rng.gen_range(0, 20), rng.gen_range(0, 100), rng.gen_range(0, 20))
+        },
+        no_shrink(),
+        |&(a, ac, b, bc)| {
+            let ra = PageRange::new(a, ac);
+            let rb = PageRange::new(b, bc);
+            prop_assert_eq!(ra.overlaps(&rb), rb.overlaps(&ra));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn intersection_is_contained(a in 0u64..100, ac in 1u64..20, b in 0u64..100, bc in 1u64..20) {
-        let ra = PageRange::new(a, ac);
-        let rb = PageRange::new(b, bc);
-        if let Some(i) = ra.intersection(&rb) {
-            prop_assert!(i.count >= 1);
-            for p in i.iter() {
-                prop_assert!(ra.contains(p) && rb.contains(p));
+#[test]
+fn intersection_is_contained() {
+    check(
+        "intersection_is_contained",
+        |rng: &mut Rng| {
+            (rng.gen_range(0, 100), rng.gen_range(1, 20), rng.gen_range(0, 100), rng.gen_range(1, 20))
+        },
+        no_shrink(),
+        |&(a, ac, b, bc)| {
+            let ra = PageRange::new(a, ac);
+            let rb = PageRange::new(b, bc);
+            if let Some(i) = ra.intersection(&rb) {
+                prop_assert!(i.count >= 1);
+                for p in i.iter() {
+                    prop_assert!(ra.contains(p) && rb.contains(p));
+                }
+            } else {
+                prop_assert!(!ra.overlaps(&rb));
             }
-        } else {
-            prop_assert!(!ra.overlaps(&rb));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pages_for_bytes_is_minimal(bytes in 1u64..1_000_000, page in prop::sample::select(vec![64u64, 512, 4096])) {
-        let n = pages_for_bytes(bytes, page);
-        prop_assert!(n * page >= bytes);
-        prop_assert!((n - 1) * page < bytes);
-    }
+#[test]
+fn pages_for_bytes_is_minimal() {
+    check(
+        "pages_for_bytes_is_minimal",
+        |rng: &mut Rng| (rng.gen_range(1, 1_000_000), *rng.choose(&[64u64, 512, 4096])),
+        // Shrink the byte count only; the page size must stay in its menu.
+        |&(bytes, page)| shrink_u64(1)(&bytes).into_iter().map(|b| (b, page)).collect(),
+        |&(bytes, page)| {
+            let n = pages_for_bytes(bytes, page);
+            prop_assert!(n * page >= bytes);
+            prop_assert!((n - 1) * page < bytes);
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------- SegmentAllocator
@@ -48,207 +77,270 @@ enum AllocOp {
     FreeNewest,
 }
 
-fn alloc_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        3 => (0u8..3, 1u64..20_000, any::<bool>())
-            .prop_map(|(pool, bytes, aligned)| AllocOp::Alloc { pool, bytes, aligned }),
-        1 => Just(AllocOp::FreeOldest),
-        1 => Just(AllocOp::FreeNewest),
-    ]
+fn alloc_op(rng: &mut Rng) -> AllocOp {
+    // Weights 3:1:1, as in the original strategy.
+    match rng.gen_usize(0, 5) {
+        0..=2 => AllocOp::Alloc {
+            pool: rng.gen_range(0, 3) as u8,
+            bytes: rng.gen_range(1, 20_000),
+            aligned: rng.gen_bool(0.5),
+        },
+        3 => AllocOp::FreeOldest,
+        _ => AllocOp::FreeNewest,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Live allocations never overlap in the byte address space, pools never
+/// share pages, and page tenancy is exactly the number of live tenants.
+#[test]
+fn allocator_never_overlaps_live_allocations() {
+    PropConfig::from_env().with_cases(64).run(
+        "allocator_never_overlaps_live_allocations",
+        |rng: &mut Rng| {
+            let n = rng.gen_usize(1, 60);
+            (0..n).map(|_| alloc_op(rng)).collect::<Vec<_>>()
+        },
+        shrink_vec(1, |op: &AllocOp| match op {
+            AllocOp::Alloc { pool, bytes, aligned } => shrink_u64(1)(bytes)
+                .into_iter()
+                .map(|b| AllocOp::Alloc { pool: *pool, bytes: b, aligned: *aligned })
+                .collect(),
+            _ => Vec::new(),
+        }),
+        |ops| {
+            let mut mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 30));
+            let mut alloc = SegmentAllocator::new(4096);
+            let mut live: Vec<(u8, sentinel::dnn::Allocation)> = Vec::new();
 
-    /// Live allocations never overlap in the byte address space, pools never
-    /// share pages, and page tenancy is exactly the number of live tenants.
-    #[test]
-    fn allocator_never_overlaps_live_allocations(ops in prop::collection::vec(alloc_op(), 1..60)) {
-        let mut mem = MemorySystem::new(HmConfig::testing().with_slow_capacity(1 << 30));
-        let mut alloc = SegmentAllocator::new(4096);
-        let mut live: Vec<(u8, sentinel::dnn::Allocation)> = Vec::new();
-
-        for op in ops {
-            match op {
-                AllocOp::Alloc { pool, bytes, aligned } => {
-                    let spec = if aligned {
-                        PoolSpec::page_aligned(u64::from(pool) + 100)
-                    } else {
-                        PoolSpec::packed(u64::from(pool))
-                    };
-                    let a = alloc.alloc(&mut mem, spec, bytes);
-                    prop_assert!(a.bytes >= bytes);
-                    live.push((pool, a));
-                }
-                AllocOp::FreeOldest => {
-                    if !live.is_empty() {
-                        let (_, a) = live.remove(0);
-                        alloc.free(&a);
+            for op in ops {
+                match *op {
+                    AllocOp::Alloc { pool, bytes, aligned } => {
+                        let spec = if aligned {
+                            PoolSpec::page_aligned(u64::from(pool) + 100)
+                        } else {
+                            PoolSpec::packed(u64::from(pool))
+                        };
+                        let a = alloc.alloc(&mut mem, spec, bytes);
+                        prop_assert!(a.bytes >= bytes);
+                        live.push((pool, a));
+                    }
+                    AllocOp::FreeOldest => {
+                        if !live.is_empty() {
+                            let (_, a) = live.remove(0);
+                            alloc.free(&a);
+                        }
+                    }
+                    AllocOp::FreeNewest => {
+                        if let Some((_, a)) = live.pop() {
+                            alloc.free(&a);
+                        }
                     }
                 }
-                AllocOp::FreeNewest => {
-                    if let Some((_, a)) = live.pop() {
-                        alloc.free(&a);
+                // No two live allocations overlap in byte space.
+                for i in 0..live.len() {
+                    for j in (i + 1)..live.len() {
+                        let (a, b) = (&live[i].1, &live[j].1);
+                        let disjoint = a.addr + a.bytes <= b.addr || b.addr + b.bytes <= a.addr;
+                        prop_assert!(disjoint, "allocations overlap: {a:?} vs {b:?}");
                     }
                 }
-            }
-            // No two live allocations overlap in byte space.
-            for i in 0..live.len() {
-                for j in (i + 1)..live.len() {
-                    let (a, b) = (&live[i].1, &live[j].1);
-                    let disjoint = a.addr + a.bytes <= b.addr || b.addr + b.bytes <= a.addr;
-                    prop_assert!(disjoint, "allocations overlap: {a:?} vs {b:?}");
+                // Page tenancy equals the number of live allocations covering it.
+                use std::collections::HashMap;
+                let mut expected: HashMap<u64, u32> = HashMap::new();
+                for (_, a) in &live {
+                    for p in a.pages.iter() {
+                        *expected.entry(p).or_insert(0) += 1;
+                    }
+                }
+                for (&p, &c) in &expected {
+                    prop_assert_eq!(alloc.tenants(p), c, "page {} tenancy: {} != {}", p, alloc.tenants(p), c);
                 }
             }
-            // Page tenancy equals the number of live allocations covering it.
-            use std::collections::HashMap;
-            let mut expected: HashMap<u64, u32> = HashMap::new();
-            for (_, a) in &live {
-                for p in a.pages.iter() {
-                    *expected.entry(p).or_insert(0) += 1;
-                }
+            // Draining everything empties the populated-page set.
+            for (_, a) in live.drain(..) {
+                alloc.free(&a);
             }
-            for (&p, &c) in &expected {
-                prop_assert_eq!(alloc.tenants(p), c, "page {} tenancy", p);
-            }
-        }
-        // Draining everything empties the populated-page set.
-        for (_, a) in live.drain(..) {
-            alloc.free(&a);
-        }
-        prop_assert_eq!(alloc.populated_pages(), 0);
-        prop_assert_eq!(alloc.live_bytes(), 0);
-    }
+            prop_assert_eq!(alloc.populated_pages(), 0);
+            prop_assert_eq!(alloc.live_bytes(), 0);
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------- MigrationEngine
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Per-lane completion times are monotone and cancel+drain partitions
-    /// the in-flight set.
-    #[test]
-    fn migration_engine_timestamps_are_monotone(
-        batches in prop::collection::vec((0u64..100, 1u64..8, any::<bool>(), 0u64..10_000), 1..30)
-    ) {
-        let mut e = MigrationEngine::new(2.0, 1.0, 50, 4096);
-        let mut last_ready = [0u64; 2];
-        let mut now = 0u64;
-        let mut issued = 0usize;
-        for (first, count, promote, dt) in batches {
-            now += dt;
-            let dir = if promote { Direction::Promote } else { Direction::Demote };
-            let t = e.enqueue(PageRange::new(first, count), dir, now);
-            let lane = if promote { 0 } else { 1 };
-            prop_assert!(t.ready_at >= now);
-            prop_assert!(t.ready_at >= last_ready[lane], "lane went backwards");
-            last_ready[lane] = t.ready_at;
-            issued += 1;
-        }
-        // Draining at `cut` then cancelling pending work at `cut` partitions
-        // the in-flight set exactly.
-        let cut = now + 1;
-        let done = e.drain_completed(cut);
-        let cancelled = e.cancel_pending(cut);
-        prop_assert_eq!(done.len() + cancelled.len(), issued);
-        prop_assert!(e.in_flight().is_empty());
-        prop_assert!(done.iter().all(|f| f.ready_at <= cut));
-        prop_assert!(cancelled.iter().all(|f| f.ready_at > cut));
-    }
+/// Per-lane completion times are monotone and cancel+drain partitions
+/// the in-flight set.
+#[test]
+fn migration_engine_timestamps_are_monotone() {
+    PropConfig::from_env().with_cases(64).run(
+        "migration_engine_timestamps_are_monotone",
+        |rng: &mut Rng| {
+            let n = rng.gen_usize(1, 30);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0, 100),
+                        rng.gen_range(1, 8),
+                        rng.gen_bool(0.5),
+                        rng.gen_range(0, 10_000),
+                    )
+                })
+                .collect::<Vec<_>>()
+        },
+        shrink_vec(1, no_shrink()),
+        |batches| {
+            let mut e = MigrationEngine::new(2.0, 1.0, 50, 4096);
+            let mut last_ready = [0u64; 2];
+            let mut now = 0u64;
+            let mut issued = 0usize;
+            for &(first, count, promote, dt) in batches {
+                now += dt;
+                let dir = if promote { Direction::Promote } else { Direction::Demote };
+                let t = e.enqueue(PageRange::new(first, count), dir, now);
+                let lane = if promote { 0 } else { 1 };
+                prop_assert!(t.ready_at >= now);
+                prop_assert!(t.ready_at >= last_ready[lane], "lane went backwards");
+                last_ready[lane] = t.ready_at;
+                issued += 1;
+            }
+            // Draining at `cut` then cancelling pending work at `cut` partitions
+            // the in-flight set exactly.
+            let cut = now + 1;
+            let done = e.drain_completed(cut);
+            let cancelled = e.cancel_pending(cut);
+            prop_assert_eq!(done.len() + cancelled.len(), issued);
+            prop_assert!(e.in_flight().is_empty());
+            prop_assert!(done.iter().all(|f| f.ready_at <= cut));
+            prop_assert!(cancelled.iter().all(|f| f.ready_at > cut));
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------- MemorySystem
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Mapping, migrating and unmapping conserves page counts; capacity is
+/// never exceeded.
+#[test]
+fn page_accounting_conserves_pages() {
+    PropConfig::from_env().with_cases(48).run(
+        "page_accounting_conserves_pages",
+        |rng: &mut Rng| {
+            let n = rng.gen_usize(1, 40);
+            (0..n).map(|_| (rng.gen_range(1, 6), rng.gen_bool(0.5))).collect::<Vec<_>>()
+        },
+        shrink_vec(1, no_shrink()),
+        |ops| {
+            let cfg =
+                HmConfig::testing().with_fast_capacity(64 * 4096).with_slow_capacity(1024 * 4096);
+            let fast_cap = cfg.fast_pages();
+            let slow_cap = cfg.slow_pages();
+            let mut mem = MemorySystem::new(cfg);
+            let mut mapped: Vec<(PageRange, bool)> = Vec::new(); // (range, migrated flag unused)
+            let mut now = 0u64;
+            let mut total_pages = 0u64;
 
-    /// Mapping, migrating and unmapping conserves page counts; capacity is
-    /// never exceeded.
-    #[test]
-    fn page_accounting_conserves_pages(
-        ops in prop::collection::vec((1u64..6, any::<bool>()), 1..40)
-    ) {
-        let cfg = HmConfig::testing().with_fast_capacity(64 * 4096).with_slow_capacity(1024 * 4096);
-        let fast_cap = cfg.fast_pages();
-        let slow_cap = cfg.slow_pages();
-        let mut mem = MemorySystem::new(cfg);
-        let mut mapped: Vec<(PageRange, bool)> = Vec::new(); // (range, migrated flag unused)
-        let mut now = 0u64;
-        let mut total_pages = 0u64;
-
-        for (count, prefer_fast) in ops {
-            now += 1_000_000; // plenty of time: all migrations complete
-            mem.poll(now);
-            let r = mem.reserve(count);
-            let tier = if prefer_fast { Tier::Fast } else { Tier::Slow };
-            let ok = mem.map(r, tier, now).is_ok() || mem.map(r, tier.other(), now).is_ok();
-            if ok {
-                mapped.push((r, false));
-                total_pages += count;
-            }
-            // Occasionally migrate the oldest mapped range.
-            if mapped.len() > 2 {
-                let (range, _) = mapped[0];
-                if let Some(t) = mem.tier_of(range.first) {
-                    let _ = mem.migrate(range, t.other(), now);
+            for &(count, prefer_fast) in ops {
+                now += 1_000_000; // plenty of time: all migrations complete
+                mem.poll(now);
+                let r = mem.reserve(count);
+                let tier = if prefer_fast { Tier::Fast } else { Tier::Slow };
+                let ok = mem.map(r, tier, now).is_ok() || mem.map(r, tier.other(), now).is_ok();
+                if ok {
+                    mapped.push((r, false));
+                    total_pages += count;
                 }
+                // Occasionally migrate the oldest mapped range.
+                if mapped.len() > 2 {
+                    let (range, _) = mapped[0];
+                    if let Some(t) = mem.tier_of(range.first) {
+                        let _ = mem.migrate(range, t.other(), now);
+                    }
+                }
+                mem.poll(now + 500_000);
+                let used = mem.used_pages(Tier::Fast) + mem.used_pages(Tier::Slow);
+                prop_assert!(mem.used_pages(Tier::Fast) <= fast_cap);
+                prop_assert!(mem.used_pages(Tier::Slow) <= slow_cap);
+                prop_assert!(used >= total_pages, "pages lost: used {} < mapped {}", used, total_pages);
             }
-            mem.poll(now + 500_000);
-            let used = mem.used_pages(Tier::Fast) + mem.used_pages(Tier::Slow);
-            prop_assert!(mem.used_pages(Tier::Fast) <= fast_cap);
-            prop_assert!(mem.used_pages(Tier::Slow) <= slow_cap);
-            prop_assert!(used >= total_pages, "pages lost: used {} < mapped {}", used, total_pages);
-        }
-        // Unmap everything: zero usage remains.
-        now += 10_000_000;
-        mem.poll(now);
-        for (r, _) in mapped {
-            mem.unmap(r, now).unwrap();
-        }
-        prop_assert_eq!(mem.used_pages(Tier::Fast) + mem.used_pages(Tier::Slow), 0);
-    }
+            // Unmap everything: zero usage remains.
+            now += 10_000_000;
+            mem.poll(now);
+            for (r, _) in mapped {
+                mem.unmap(r, now).unwrap();
+            }
+            prop_assert_eq!(mem.used_pages(Tier::Fast) + mem.used_pages(Tier::Slow), 0);
+            Ok(())
+        },
+    );
+}
 
-    /// The access path conserves accounting: mm accesses + cache hits equal
-    /// the pages touched.
-    #[test]
-    fn access_accounting_conserves_pages(
-        spans in prop::collection::vec((0u64..32, 1u64..8, any::<bool>()), 1..40)
-    ) {
-        let mut cfg = HmConfig::testing().with_slow_capacity(1 << 22);
-        cfg.cache = Some(CacheFilterSpec { capacity_bytes: 8 * 4096, ways: 2, line_bytes: 4096, hit_latency_ns: 1, hit_bw_bytes_per_ns: 100.0 });
-        let mut mem = MemorySystem::new(cfg);
-        let r = mem.reserve(64);
-        mem.map(r, Tier::Slow, 0).unwrap();
-        for (first, count, write) in spans {
-            let range = PageRange::new(first.min(56), count);
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
-            let rep = mem.access(range, count * 4096, kind, 0);
-            prop_assert_eq!(rep.mm_accesses + rep.cache_hits, range.count);
-            prop_assert_eq!(rep.bytes_fast, 0); // everything lives in slow
-            prop_assert!(rep.elapsed_ns > 0);
-        }
-    }
+/// The access path conserves accounting: mm accesses + cache hits equal
+/// the pages touched.
+#[test]
+fn access_accounting_conserves_pages() {
+    PropConfig::from_env().with_cases(48).run(
+        "access_accounting_conserves_pages",
+        |rng: &mut Rng| {
+            let n = rng.gen_usize(1, 40);
+            (0..n)
+                .map(|_| (rng.gen_range(0, 32), rng.gen_range(1, 8), rng.gen_bool(0.5)))
+                .collect::<Vec<_>>()
+        },
+        shrink_vec(1, no_shrink()),
+        |spans| {
+            let mut cfg = HmConfig::testing().with_slow_capacity(1 << 22);
+            cfg.cache = Some(CacheFilterSpec {
+                capacity_bytes: 8 * 4096,
+                ways: 2,
+                line_bytes: 4096,
+                hit_latency_ns: 1,
+                hit_bw_bytes_per_ns: 100.0,
+            });
+            let mut mem = MemorySystem::new(cfg);
+            let r = mem.reserve(64);
+            mem.map(r, Tier::Slow, 0).unwrap();
+            for &(first, count, write) in spans {
+                let range = PageRange::new(first.min(56), count);
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                let rep = mem.access(range, count * 4096, kind, 0);
+                prop_assert_eq!(rep.mm_accesses + rep.cache_hits, range.count);
+                prop_assert_eq!(rep.bytes_fast, 0); // everything lives in slow
+                prop_assert!(rep.elapsed_ns > 0);
+            }
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------- CacheFilter
 
-proptest! {
-    #[test]
-    fn cache_filter_conserves_probes(pages in prop::collection::vec(0u64..64, 1..200)) {
-        let mut c = CacheFilter::new(CacheFilterSpec {
-            capacity_bytes: 16 * 4096,
-            ways: 4,
-            line_bytes: 4096,
-            hit_latency_ns: 1,
-            hit_bw_bytes_per_ns: 10.0,
-        });
-        for &p in &pages {
-            c.probe(p);
-        }
-        prop_assert_eq!(c.hits() + c.misses(), pages.len() as u64);
-        // A second probe of the most recent page always hits.
-        let last = *pages.last().unwrap();
-        prop_assert_eq!(c.probe(last), sentinel::mem::CacheOutcome::Hit);
-    }
+#[test]
+fn cache_filter_conserves_probes() {
+    check(
+        "cache_filter_conserves_probes",
+        |rng: &mut Rng| {
+            let n = rng.gen_usize(1, 200);
+            (0..n).map(|_| rng.gen_range(0, 64)).collect::<Vec<_>>()
+        },
+        shrink_vec(1, shrink_u64(0)),
+        |pages| {
+            let mut c = CacheFilter::new(CacheFilterSpec {
+                capacity_bytes: 16 * 4096,
+                ways: 4,
+                line_bytes: 4096,
+                hit_latency_ns: 1,
+                hit_bw_bytes_per_ns: 10.0,
+            });
+            for &p in pages {
+                c.probe(p);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), pages.len() as u64);
+            // A second probe of the most recent page always hits.
+            let last = *pages.last().unwrap();
+            prop_assert_eq!(c.probe(last), sentinel::mem::CacheOutcome::Hit);
+            Ok(())
+        },
+    );
 }
