@@ -11,7 +11,7 @@
 //! Sentinel.
 
 use crate::common::{ensure_resident_sync, StaticProfile};
-use sentinel_util::Rng;
+use sentinel_util::{Pool, Rng};
 use sentinel_dnn::{ExecCtx, Graph, MemoryManager, Tensor, TensorId};
 use sentinel_mem::{pages_for_bytes, AccessKind, Tier};
 
@@ -42,9 +42,21 @@ pub struct SwapAdvisor {
 
 impl SwapAdvisor {
     /// Build SwapAdvisor for `graph`, running the GA against `fast_bytes`
-    /// of device memory and `bw` bytes/ns of transfer bandwidth.
+    /// of device memory and `bw` bytes/ns of transfer bandwidth. The GA
+    /// fans candidate evaluation out on an environment-sized pool
+    /// ([`Pool::from_env`]); see [`SwapAdvisor::plan_for_with_pool`] for
+    /// the determinism contract.
     #[must_use]
     pub fn plan_for(graph: &Graph, fast_bytes: u64, bw: f64) -> Self {
+        SwapAdvisor::plan_for_with_pool(graph, fast_bytes, bw, Pool::from_env())
+    }
+
+    /// [`SwapAdvisor::plan_for`] with an explicit worker pool for the GA's
+    /// per-candidate evaluation and breeding. The search is seeded and each
+    /// child is bred on an RNG stream forked off the main seed *before* the
+    /// fan-out, so the chosen plan is identical at any worker count.
+    #[must_use]
+    pub fn plan_for_with_pool(graph: &Graph, fast_bytes: u64, bw: f64, pool: Pool) -> Self {
         let profile = StaticProfile::new(graph);
         let candidates: Vec<Candidate> = graph
             .tensors()
@@ -63,7 +75,7 @@ impl SwapAdvisor {
             })
             .collect();
 
-        let plan = ga_search(graph, &candidates, fast_bytes, bw);
+        let plan = ga_search(graph, &candidates, fast_bytes, bw, pool);
         let mut swap = vec![false; graph.num_tensors()];
         for (c, &s) in candidates.iter().zip(&plan) {
             if s {
@@ -110,7 +122,19 @@ fn fitness(graph: &Graph, candidates: &[Candidate], genome: &[bool], fast_bytes:
     overflow * 0.5 + transfer_exposure
 }
 
-fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) -> Vec<bool> {
+/// Seeded GA over swap plans. Both hot fan-outs run on `pool`: fitness is a
+/// pure function of the genome, so per-candidate evaluation parallelizes
+/// as-is, and each child of a generation is bred from an RNG stream forked
+/// off the main seed serially *before* the fan-out — the stream a child
+/// sees depends only on its index, never on worker interleaving, keeping
+/// the search seed-deterministic at any worker count.
+fn ga_search(
+    graph: &Graph,
+    candidates: &[Candidate],
+    fast_bytes: u64,
+    bw: f64,
+    pool: Pool,
+) -> Vec<bool> {
     let n = candidates.len();
     if n == 0 {
         return Vec::new();
@@ -122,17 +146,19 @@ fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) 
     let mut best = population[0].clone();
     let mut best_cost = fitness(graph, candidates, &best, fast_bytes, bw);
     for _ in 0..GENERATIONS {
-        let costs: Vec<f64> =
-            population.iter().map(|g| fitness(graph, candidates, g, fast_bytes, bw)).collect();
+        let costs: Vec<f64> = pool.par_map((0..POPULATION).collect(), |p| {
+            fitness(graph, candidates, &population[p], fast_bytes, bw)
+        });
         for (g, &c) in population.iter().zip(&costs) {
             if c < best_cost {
                 best_cost = c;
                 best = g.clone();
             }
         }
-        // Tournament selection + uniform crossover + mutation.
-        let mut next = Vec::with_capacity(POPULATION);
-        while next.len() < POPULATION {
+        // Tournament selection + uniform crossover + mutation, one forked
+        // stream per child.
+        let streams: Vec<Rng> = (0..POPULATION).map(|_| rng.fork()).collect();
+        population = pool.par_map(streams, |mut rng| {
             let pick = |rng: &mut Rng| {
                 let a = rng.gen_usize(0, POPULATION);
                 let b = rng.gen_usize(0, POPULATION);
@@ -143,7 +169,7 @@ fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) 
                 }
             };
             let (pa, pb) = (pick(&mut rng), pick(&mut rng));
-            let child: Vec<bool> = (0..n)
+            (0..n)
                 .map(|i| {
                     let gene = if rng.gen_bool(0.5) { population[pa][i] } else { population[pb][i] };
                     if rng.gen_bool(MUTATION) {
@@ -152,10 +178,8 @@ fn ga_search(graph: &Graph, candidates: &[Candidate], fast_bytes: u64, bw: f64) 
                         gene
                     }
                 })
-                .collect();
-            next.push(child);
-        }
-        population = next;
+                .collect()
+        });
     }
     best
 }
@@ -247,6 +271,18 @@ mod tests {
         let a = SwapAdvisor::plan_for(&g, g.peak_live_bytes() / 5, 12.0);
         let b = SwapAdvisor::plan_for(&g, g.peak_live_bytes() / 5, 12.0);
         assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn ga_plan_is_independent_of_worker_count() {
+        let g = graph();
+        let fast = g.peak_live_bytes() / 5;
+        let serial = SwapAdvisor::plan_for_with_pool(&g, fast, 12.0, sentinel_util::Pool::new(1));
+        for workers in [2, 4, 7] {
+            let parallel =
+                SwapAdvisor::plan_for_with_pool(&g, fast, 12.0, sentinel_util::Pool::new(workers));
+            assert_eq!(serial.plan, parallel.plan, "{workers} workers changed the GA plan");
+        }
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! cargo run -p sentinel-bench --release --bin run_experiments            # full suite
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --fast  # quick pass
 //! cargo run -p sentinel-bench --release --bin run_experiments -- fig7    # one experiment
+//! cargo run -p sentinel-bench --release --bin run_experiments -- --jobs 4  # 4 workers
 //! ```
 //!
 //! Writes `results/<id>.json` per experiment and assembles
 //! `EXPERIMENTS_GENERATED.md` with every rendered table.
+//!
+//! Independent experiments run concurrently on `--jobs N` workers
+//! (`SENTINEL_JOBS` honored, host parallelism by default, `--jobs 1` for
+//! the serial path); every experiment is deterministic and owns its
+//! simulator state, so output bytes are identical at any job count —
+//! `tests/parallel_determinism.rs` enforces exactly that.
 
-use sentinel_bench::{experiment_registry, ExpConfig};
+use sentinel_bench::{experiment_registry, ExpConfig, ExpResult};
 use std::fs;
 use std::io::Write;
 use std::time::Instant;
@@ -17,30 +24,79 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let cfg = ExpConfig { fast };
+    let jobs = match parse_jobs(&args) {
+        Ok(jobs) => jobs,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let filter: Vec<&String> = {
+        // Skip flag tokens and the value following a bare `--jobs`.
+        let mut filter = Vec::new();
+        let mut skip_next = false;
+        for a in &args {
+            if skip_next {
+                skip_next = false;
+            } else if a == "--jobs" {
+                skip_next = true;
+            } else if !a.starts_with("--") {
+                filter.push(a);
+            }
+        }
+        filter
+    };
+    // Propagate to every pool sized via `default_jobs()` — in particular
+    // SwapAdvisor's GA, which runs deep inside `run_gpu_baseline`.
+    sentinel_util::set_default_jobs(jobs);
+    let cfg = ExpConfig::new(fast).with_jobs(jobs);
 
     fs::create_dir_all("results").expect("create results dir");
     let started = Instant::now();
-    let mut sections = Vec::new();
 
-    // Run experiments one at a time so partial progress is visible and saved.
-    let registry = experiment_registry();
+    let registry: Vec<(&str, fn(&ExpConfig) -> ExpResult)> = experiment_registry()
+        .into_iter()
+        .filter(|(id, _)| filter.is_empty() || filter.iter().any(|f| id.contains(f.as_str())))
+        .collect();
     println!(
-        "running up to {} experiments ({} mode)...",
+        "running {} experiments ({} mode, {} worker{})...",
         registry.len(),
-        if fast { "fast" } else { "full" }
+        if fast { "fast" } else { "full" },
+        jobs,
+        if jobs == 1 { "" } else { "s" },
     );
-    for (id, generator) in registry {
-        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
-            continue;
-        }
-        let result = generator(&cfg);
-        let json = sentinel_util::ToJson::to_json(&result).to_pretty_string();
-        fs::write(format!("results/{}.json", result.id), json).expect("write json");
-        println!("  [{}] {} ({:.1}s elapsed)", result.id, result.title, started.elapsed().as_secs_f64());
-        sections.push(result);
+    if registry.is_empty() {
+        eprintln!(
+            "no experiment matched the filter; known ids: {}",
+            experiment_registry().iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
     }
+
+    // Independent experiments run concurrently; each one writes its
+    // `results/<id>.json` the moment it completes, so partial progress is
+    // saved even if a later experiment dies. `run_all` returns results in
+    // registry order regardless of completion order, keeping the assembled
+    // markdown — and therefore every output byte — independent of `--jobs`.
+    let sections: Vec<ExpResult> = cfg.pool().run_all(
+        registry
+            .into_iter()
+            .map(|(_, generator)| {
+                move || {
+                    let result = generator(&cfg);
+                    let json = sentinel_util::ToJson::to_json(&result).to_pretty_string();
+                    fs::write(format!("results/{}.json", result.id), json).expect("write json");
+                    println!(
+                        "  [{}] {} ({:.1}s elapsed)",
+                        result.id,
+                        result.title,
+                        started.elapsed().as_secs_f64()
+                    );
+                    result
+                }
+            })
+            .collect(),
+    );
 
     if filter.is_empty() {
         let mut md = String::from(
@@ -55,12 +111,6 @@ fn main() {
             "wrote EXPERIMENTS_GENERATED.md and results/*.json in {:.1}s",
             started.elapsed().as_secs_f64()
         );
-    } else if sections.is_empty() {
-        eprintln!(
-            "no experiment matched the filter; known ids: {}",
-            experiment_registry().iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
-        );
-        std::process::exit(2);
     } else {
         println!(
             "(filtered run: {} results/*.json updated in {:.1}s; EXPERIMENTS_GENERATED.md left as-is)",
@@ -68,4 +118,24 @@ fn main() {
             started.elapsed().as_secs_f64()
         );
     }
+}
+
+/// Parse `--jobs N` / `--jobs=N`, falling back to `SENTINEL_JOBS` and then
+/// host parallelism via [`sentinel_util::default_jobs`].
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let raw = if a == "--jobs" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return raw
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--jobs expects a positive integer, e.g. --jobs 4".to_owned());
+    }
+    Ok(sentinel_util::default_jobs())
 }

@@ -270,25 +270,39 @@ pub fn fig10(cfg: &ExpConfig) -> ExpResult {
     }
     sentinel_util::impl_to_json!(Row { model, fractions, relative_to_fast_only });
     let fractions = [0.2, 0.3, 0.4, 0.5, 0.6];
-    let mut rows = Vec::new();
-    for spec in cfg.small_batch_models() {
+    let specs = cfg.small_batch_models();
+    let pool = cfg.pool();
+    // Fast-only reference per model, then all model × fast-size cells as one
+    // flat fan-out (5 × 5 = 25 independent simulations). Cells are assembled
+    // back into rows by index, so bytes are identical at any job count.
+    let fast_ns: Vec<f64> = pool.par_map(specs.clone(), |spec| {
         let graph = ModelZoo::build(&spec).expect("model builds");
-        let fast = {
-            let hm = fast_sized_for(HmConfig::optane_like(), &graph, 1.5);
-            run_baseline(Baseline::FastOnly, &graph, &hm, cfg.baseline_steps())
-                .expect("runs")
-                .expect("applies")
-                .steady_step_ns() as f64
-        };
-        let rel: Vec<f64> = fractions
-            .iter()
-            .map(|&f| {
-                let o = run_sentinel(&spec, f, cfg.steps()).expect("runs");
-                o.report.steady_step_ns() as f64 / fast
-            })
-            .collect();
-        rows.push(Row { model: spec.name(), fractions: fractions.to_vec(), relative_to_fast_only: rel });
-    }
+        let hm = fast_sized_for(HmConfig::optane_like(), &graph, 1.5);
+        run_baseline(Baseline::FastOnly, &graph, &hm, cfg.baseline_steps())
+            .expect("runs")
+            .expect("applies")
+            .steady_step_ns() as f64
+    });
+    let cells: Vec<(usize, f64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(m, _)| fractions.iter().map(move |&f| (m, f)))
+        .collect();
+    let cell_ns: Vec<f64> = pool.par_map(cells, |(m, f)| {
+        let o = run_sentinel(&specs[m], f, cfg.steps()).expect("runs");
+        o.report.steady_step_ns() as f64
+    });
+    let rows: Vec<Row> = specs
+        .iter()
+        .enumerate()
+        .map(|(m, spec)| Row {
+            model: spec.name(),
+            fractions: fractions.to_vec(),
+            relative_to_fast_only: (0..fractions.len())
+                .map(|i| cell_ns[m * fractions.len() + i] / fast_ns[m])
+                .collect(),
+        })
+        .collect();
     let mut md = String::from("| Model | 20% | 30% | 40% | 50% | 60% |\n|---|---|---|---|---|---|\n");
     for r in &rows {
         md.push_str(&format!(

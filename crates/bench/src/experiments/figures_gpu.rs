@@ -24,42 +24,69 @@ pub fn fig12(cfg: &ExpConfig) -> ExpResult {
         sentinel_gpu: f64,
     }
     sentinel_util::impl_to_json!(Cell { model, batch, pressure, um, vdnn, autotm, swapadvisor, capuchin, sentinel_gpu });
-    let mut cells = Vec::new();
-    for (name, specs) in cfg.gpu_models() {
-        for (spec, &pressure) in specs.iter().zip(GPU_PRESSURES.iter()) {
-            let um = run_gpu_baseline(Baseline::UnifiedMemory, spec, pressure, cfg.baseline_steps())
+    // Flatten the model × batch × policy grid into independent jobs (each
+    // simulation owns its state) and normalize to UM after the fan-out; the
+    // grid is reassembled by index so bytes are identical at any job count.
+    #[derive(Clone, Copy)]
+    enum Run {
+        Baseline(Baseline),
+        Sentinel,
+    }
+    const POLICIES: [Run; 6] = [
+        Run::Baseline(Baseline::UnifiedMemory),
+        Run::Baseline(Baseline::Vdnn),
+        Run::Baseline(Baseline::AutoTm),
+        Run::Baseline(Baseline::SwapAdvisor),
+        Run::Baseline(Baseline::Capuchin),
+        Run::Sentinel,
+    ];
+    let grid: Vec<(String, sentinel_models::ModelSpec, f64)> = cfg
+        .gpu_models()
+        .into_iter()
+        .flat_map(|(name, specs)| {
+            specs
+                .into_iter()
+                .zip(GPU_PRESSURES)
+                .map(move |(spec, pressure)| (name.clone(), spec, pressure))
+        })
+        .collect();
+    let jobs: Vec<(usize, Run)> = (0..grid.len())
+        .flat_map(|g| POLICIES.iter().map(move |&p| (g, p)))
+        .collect();
+    let step_ns: Vec<Option<u64>> = cfg.pool().par_map(jobs, |(g, run)| {
+        let (_, spec, pressure) = &grid[g];
+        match run {
+            Run::Baseline(b) => run_gpu_baseline(b, spec, *pressure, cfg.baseline_steps())
                 .expect("runs")
-                .expect("applies");
-            let um_ns = um.steady_step_ns() as f64;
+                .map(|r| r.steady_step_ns()),
+            Run::Sentinel => Some(
+                run_sentinel_with(spec, SentinelConfig::gpu(), HmConfig::gpu_like(), *pressure, cfg.steps())
+                    .expect("runs")
+                    .report
+                    .steady_step_ns(),
+            ),
+        }
+    });
+    let cells: Vec<Cell> = grid
+        .iter()
+        .enumerate()
+        .map(|(g, (name, spec, pressure))| {
+            let ns = |p: usize| step_ns[g * POLICIES.len() + p];
+            let um_ns = ns(0).expect("UM applies") as f64;
             let rel = |ns: u64| um_ns / ns as f64;
-            let vdnn = run_gpu_baseline(Baseline::Vdnn, spec, pressure, cfg.baseline_steps())
-                .expect("runs")
-                .map(|r| rel(r.steady_step_ns()));
-            let autotm = run_gpu_baseline(Baseline::AutoTm, spec, pressure, cfg.baseline_steps())
-                .expect("runs")
-                .expect("applies");
-            let sa = run_gpu_baseline(Baseline::SwapAdvisor, spec, pressure, cfg.baseline_steps())
-                .expect("runs")
-                .expect("applies");
-            let cap = run_gpu_baseline(Baseline::Capuchin, spec, pressure, cfg.baseline_steps())
-                .expect("runs")
-                .expect("applies");
-            let sentinel =
-                run_sentinel_with(spec, SentinelConfig::gpu(), HmConfig::gpu_like(), pressure, cfg.steps())
-                    .expect("runs");
-            cells.push(Cell {
+            Cell {
                 model: name.clone(),
                 batch: spec.batch,
-                pressure,
+                pressure: *pressure,
                 um: 1.0,
-                vdnn,
-                autotm: rel(autotm.steady_step_ns()),
-                swapadvisor: rel(sa.steady_step_ns()),
-                capuchin: rel(cap.steady_step_ns()),
-                sentinel_gpu: rel(sentinel.report.steady_step_ns()),
-            });
-        }
-    }
+                vdnn: ns(1).map(rel),
+                autotm: rel(ns(2).expect("AutoTM applies")),
+                swapadvisor: rel(ns(3).expect("SwapAdvisor applies")),
+                capuchin: rel(ns(4).expect("Capuchin applies")),
+                sentinel_gpu: rel(ns(5).expect("Sentinel runs")),
+            }
+        })
+        .collect();
     let mut md = String::from(
         "| Model | Batch | Memory pressure | UM | vDNN | AutoTM | SwapAdvisor | Capuchin | Sentinel-GPU |\n|---|---|---|---|---|---|---|---|---|\n",
     );

@@ -271,55 +271,66 @@ pub fn table5(cfg: &ExpConfig) -> ExpResult {
     }
     sentinel_util::impl_to_json!(Row { model, device_bytes, tensorflow, vdnn, swapadvisor, autotm, capuchin, sentinel });
     let policies = ["tensorflow", "vdnn", "swapadvisor", "autotm", "capuchin", "sentinel"];
-    let mut rows = Vec::new();
-    for (name, specs) in cfg.gpu_models() {
-        // Device memory: sized so the middle batch is right at the TF limit.
-        let mid = ModelZoo::build(&specs[1]).expect("model builds");
-        let device = mid.peak_live_bytes();
-        let base = specs[0];
+    let models = cfg.gpu_models();
+    let pool = cfg.pool();
 
-        let max_batch = |policy: &str| -> u32 {
-            let mut batch = 1u32;
-            let mut last_ok = 0u32;
-            // Exponential probe then binary search.
-            while batch <= 4096 {
-                let g = ModelZoo::build(&ModelSpec { batch, ..base }).expect("model builds");
-                if required_fast_bytes(&g, policy) <= device {
-                    last_ok = batch;
-                    batch *= 2;
-                } else {
-                    break;
-                }
+    // One binary search per model × policy, each building its own graphs —
+    // 30 independent jobs. Device memory per model: sized so the middle
+    // batch is right at the TF limit.
+    let devices: Vec<u64> = pool.par_map(models.clone(), |(_, specs)| {
+        ModelZoo::build(&specs[1]).expect("model builds").peak_live_bytes()
+    });
+    let max_batch = |base: ModelSpec, device: u64, policy: &str| -> u32 {
+        let mut batch = 1u32;
+        let mut last_ok = 0u32;
+        // Exponential probe then binary search.
+        while batch <= 4096 {
+            let g = ModelZoo::build(&ModelSpec { batch, ..base }).expect("model builds");
+            if required_fast_bytes(&g, policy) <= device {
+                last_ok = batch;
+                batch *= 2;
+            } else {
+                break;
             }
-            let (mut lo, mut hi) = (last_ok, batch.min(4096));
-            while lo + 1 < hi {
-                let mid = (lo + hi) / 2;
-                let g = ModelZoo::build(&ModelSpec { batch: mid, ..base }).expect("model builds");
-                if required_fast_bytes(&g, policy) <= device {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
+        }
+        let (mut lo, mut hi) = (last_ok, batch.min(4096));
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let g = ModelZoo::build(&ModelSpec { batch: mid, ..base }).expect("model builds");
+            if required_fast_bytes(&g, policy) <= device {
+                lo = mid;
+            } else {
+                hi = mid;
             }
-            lo
-        };
-
-        let has_conv = {
-            let g = ModelZoo::build(&base).expect("model builds");
-            sentinel_baselines::has_conv(&g)
-        };
-        let vals: Vec<u32> = policies.iter().map(|p| max_batch(p)).collect();
-        rows.push(Row {
-            model: name,
-            device_bytes: device,
-            tensorflow: vals[0],
-            vdnn: has_conv.then_some(vals[1]),
-            swapadvisor: vals[2],
-            autotm: vals[3],
-            capuchin: vals[4],
-            sentinel: vals[5],
-        });
-    }
+        }
+        lo
+    };
+    let searches: Vec<(usize, &str)> = (0..models.len())
+        .flat_map(|m| policies.iter().map(move |&p| (m, p)))
+        .collect();
+    let vals: Vec<u32> =
+        pool.par_map(searches, |(m, policy)| max_batch(models[m].1[0], devices[m], policy));
+    let rows: Vec<Row> = models
+        .iter()
+        .enumerate()
+        .map(|(m, (name, specs))| {
+            let has_conv = {
+                let g = ModelZoo::build(&specs[0]).expect("model builds");
+                sentinel_baselines::has_conv(&g)
+            };
+            let v = |p: usize| vals[m * policies.len() + p];
+            Row {
+                model: name.clone(),
+                device_bytes: devices[m],
+                tensorflow: v(0),
+                vdnn: has_conv.then(|| v(1)),
+                swapadvisor: v(2),
+                autotm: v(3),
+                capuchin: v(4),
+                sentinel: v(5),
+            }
+        })
+        .collect();
     let mut md = String::from(
         "| Model | Device memory | TensorFlow | vDNN | SwapAdvisor | AutoTM | Capuchin | Sentinel-GPU |\n|---|---|---|---|---|---|---|---|\n",
     );

@@ -5,7 +5,7 @@ use sentinel_core::{fast_sized_for, SentinelConfig, SentinelOutcome, SentinelRun
 use sentinel_dnn::{ExecError, TrainReport};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
-use sentinel_util::{Json, ToJson};
+use sentinel_util::{Json, Pool, ToJson};
 
 /// Global experiment configuration.
 #[derive(Debug, Clone, Copy)]
@@ -14,9 +14,34 @@ pub struct ExpConfig {
     /// suite completes in well under a minute; full mode uses paper-like
     /// model sizes.
     pub fast: bool,
+    /// Worker threads for inner parameter sweeps (Fig. 10 cells, the
+    /// Fig. 12 grid, Table V's searches); 1 = serial. Parallelism is a
+    /// wall-clock knob only: every sweep point owns its simulator state, so
+    /// results are byte-identical at any job count.
+    pub jobs: usize,
 }
 
 impl ExpConfig {
+    /// A configuration with the environment-derived default job count
+    /// (`SENTINEL_JOBS`, else available parallelism).
+    #[must_use]
+    pub fn new(fast: bool) -> Self {
+        ExpConfig { fast, jobs: sentinel_util::default_jobs() }
+    }
+
+    /// Replace the inner-sweep job count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The pool experiments fan inner sweeps out on.
+    #[must_use]
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.jobs)
+    }
+
     /// Scale divisor applied to model widths.
     #[must_use]
     pub fn scale(&self) -> u32 {

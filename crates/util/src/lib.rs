@@ -13,14 +13,19 @@
 //!   generation and input minimization on failure (replaces `proptest`),
 //! - [`timing`] — a wall-clock benchmark harness with warmup, repeated
 //!   iterations and median/p10/p90 summary written as JSON (replaces
-//!   `criterion`).
+//!   `criterion`),
+//! - [`pool`] — a scoped thread pool with ordered result collection and
+//!   panic propagation (replaces `rayon`-style `par_map` for the parallel
+//!   experiment runner; honors `SENTINEL_JOBS`).
 
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod timing;
 
 pub use json::{Json, JsonError, ToJson};
+pub use pool::{default_jobs, par_map, set_default_jobs, Pool};
 pub use prop::{check, no_shrink, shrink_u64, shrink_usize, shrink_vec, PropConfig};
 pub use rng::{Rng, SplitMix64};
 pub use timing::{suite_json, BenchResult, Bencher};

@@ -1,0 +1,238 @@
+//! A zero-dependency scoped thread pool for embarrassingly parallel
+//! fan-outs: a fixed worker count, ordered result collection, and panic
+//! propagation. The workspace's replacement for `rayon`-style `par_map`
+//! in the experiment runner and search-based baselines.
+//!
+//! The contract that matters to callers is *determinism*: [`Pool::run_all`]
+//! returns results in submission order no matter how jobs interleave across
+//! workers, and a pool of one worker degenerates to the plain serial loop.
+//! Parallelism therefore changes wall-clock time only — a caller whose jobs
+//! are themselves deterministic produces identical bytes at any job count.
+//!
+//! Worker-count resolution (highest priority first): an explicit
+//! [`Pool::new`], the `SENTINEL_JOBS` environment variable, then
+//! [`std::thread::available_parallelism`].
+//!
+//! Panics inside a job *poison the scope*: no further queued jobs start,
+//! in-flight jobs finish, and the first panic (in submission order) is
+//! re-raised on the calling thread once every worker has parked.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Process-wide override for [`default_jobs`]; 0 means "not set".
+static DEFAULT_JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// A scoped thread pool with a fixed worker count.
+///
+/// The pool itself is a lightweight handle; worker threads live only for
+/// the duration of each [`run_all`](Pool::run_all) / [`par_map`](Pool::par_map)
+/// call (a scoped pool), so jobs may freely borrow from the caller's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// The serial pool: one worker, identical to running jobs in a loop.
+    #[must_use]
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized by `SENTINEL_JOBS`, falling back to the host's
+    /// available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Pool::new(default_jobs())
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run every job, returning results in submission order.
+    ///
+    /// Jobs are pulled from a shared queue by `min(workers, jobs.len())`
+    /// worker threads. With one worker (or one job) no thread is spawned:
+    /// the jobs run in the calling thread, in order — the serial path.
+    ///
+    /// If a job panics the scope is poisoned — queued jobs are abandoned —
+    /// and the first panic in submission order is re-raised here.
+    pub fn run_all<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, F)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let poisoned = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if poisoned.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Some((index, job)) = lock(&queue).pop_front() else { break };
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    if outcome.is_err() {
+                        poisoned.store(true, Ordering::Release);
+                    }
+                    *lock(&slots[index]) = Some(outcome);
+                });
+            }
+        });
+
+        // Jobs are popped FIFO, so the started jobs form a prefix of the
+        // submission order: every abandoned (None) slot sits *after* every
+        // completed or panicked one, and the scan below re-raises the first
+        // panic in submission order before reaching any abandoned slot.
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+                Some(Ok(value)) => results.push(value),
+                Some(Err(payload)) => resume_unwind(payload),
+                None => unreachable!("abandoned slot before the poisoning panic"),
+            }
+        }
+        results
+    }
+
+    /// Map `f` over `items` on the pool, preserving order.
+    pub fn par_map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let f = &f;
+        self.run_all(items.into_iter().map(|item| move || f(item)).collect())
+    }
+}
+
+/// Lock a mutex, ignoring poisoning (jobs are already unwind-isolated).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The default job count, in priority order: the process-wide
+/// [`set_default_jobs`] override, then `SENTINEL_JOBS` if set and positive,
+/// then the host's available parallelism (1 when that cannot be determined).
+#[must_use]
+pub fn default_jobs() -> usize {
+    let forced = DEFAULT_JOBS_OVERRIDE.load(Ordering::Acquire);
+    if forced >= 1 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("SENTINEL_JOBS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Set the process-wide default job count (the `--jobs N` flag), taking
+/// precedence over `SENTINEL_JOBS`. Pass 0 to clear the override. Reaches
+/// call sites that size their pool via [`default_jobs`] / [`Pool::from_env`]
+/// without threading a parameter through every signature — notably the
+/// search-based baselines deep inside the experiment runner.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS_OVERRIDE.store(jobs, Ordering::Release);
+}
+
+/// Map `f` over `items` on an environment-sized pool ([`Pool::from_env`]).
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    Pool::from_env().par_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let pool = Pool::new(4);
+        let out = pool.par_map((0..64u64).collect(), |i| i * 3);
+        assert_eq!(out, (0..64u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let data: Vec<u64> = (0..32).collect();
+        let slice = &data[..];
+        let sums = Pool::new(3).par_map((0..4usize).collect(), |chunk| {
+            slice[chunk * 8..(chunk + 1) * 8].iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn one_worker_runs_in_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = Pool::serial().par_map(vec![(), ()], |()| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = Pool::new(8).par_map((0..100usize).collect(), |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn panic_is_propagated_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).par_map((0..16u32).collect(), |i| {
+                assert!(i != 7, "job 7 exploded");
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(message.contains("job 7 exploded"), "{message}");
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Only exercises the parser, not the process environment.
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(5).workers(), 5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for `sentinel_util::pool` on the in-tree `prop` harness:
+//! every job runs exactly once, results keep submission order, a panicking
+//! job poisons the scope and is re-raised, and a one-worker pool matches
+//! the serial path exactly.
+
+use sentinel_util::{check, no_shrink, prop_assert, prop_assert_eq, shrink_usize, Pool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Random (workers, jobs) shapes covering serial, balanced and
+/// oversubscribed pools.
+fn gen_shape(rng: &mut sentinel_util::Rng) -> (usize, usize) {
+    (rng.gen_usize(1, 9), rng.gen_usize(0, 65))
+}
+
+fn shrink_shape(&(workers, jobs): &(usize, usize)) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = shrink_usize(1)(&workers).into_iter().map(|w| (w, jobs)).collect();
+    out.extend(shrink_usize(0)(&jobs).into_iter().map(|j| (workers, j)));
+    out
+}
+
+#[test]
+fn every_job_runs_exactly_once() {
+    check(
+        "pool: every job runs exactly once",
+        gen_shape,
+        shrink_shape,
+        |&(workers, jobs)| {
+            let per_job: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+            Pool::new(workers).par_map((0..jobs).collect(), |i| {
+                per_job[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, count) in per_job.iter().enumerate() {
+                prop_assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    1,
+                    "job {i} ran {} times ({workers} workers, {jobs} jobs)",
+                    count.load(Ordering::Relaxed)
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn results_keep_submission_order() {
+    check(
+        "pool: results keep submission order",
+        |rng| {
+            let (workers, jobs) = gen_shape(rng);
+            let payloads: Vec<u64> = (0..jobs).map(|_| rng.next_u64()).collect();
+            (workers, payloads)
+        },
+        no_shrink(),
+        |(workers, payloads)| {
+            let expected: Vec<u64> = payloads.iter().map(|p| p ^ 0xABCD).collect();
+            let got = Pool::new(*workers).par_map(payloads.clone(), |p| p ^ 0xABCD);
+            prop_assert_eq!(got, expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn panicking_job_poisons_the_scope_and_is_reraised() {
+    check(
+        "pool: panic is re-raised",
+        |rng| {
+            let workers = rng.gen_usize(1, 9);
+            let jobs = rng.gen_usize(1, 33);
+            let bad = rng.gen_usize(0, jobs);
+            (workers, jobs, bad)
+        },
+        no_shrink(),
+        |&(workers, jobs, bad)| {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(workers).par_map((0..jobs).collect(), |i: usize| {
+                    assert!(i != bad, "poison marker {i}");
+                    i
+                })
+            }));
+            let payload = outcome.err().ok_or("panicking job did not poison the scope")?;
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string payload>".to_owned());
+            prop_assert!(
+                message.contains(&format!("poison marker {bad}")),
+                "wrong panic re-raised: {message}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pool_of_one_matches_the_serial_path() {
+    check(
+        "pool: one worker ≡ serial loop",
+        |rng| {
+            let jobs = rng.gen_usize(0, 65);
+            (0..jobs).map(|_| rng.gen_range(0, 1 << 20)).collect::<Vec<u64>>()
+        },
+        no_shrink(),
+        |payloads| {
+            let serial: Vec<u64> = payloads.iter().map(|&p| p.wrapping_mul(31) + 7).collect();
+            let pooled = Pool::new(1).par_map(payloads.clone(), |p| p.wrapping_mul(31) + 7);
+            prop_assert_eq!(pooled, serial);
+            // And the serial pool never spawns: jobs run on the caller thread.
+            let caller = std::thread::current().id();
+            let threads = Pool::serial().par_map(payloads.clone(), |_| std::thread::current().id());
+            prop_assert!(threads.iter().all(|&t| t == caller));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn any_worker_count_agrees_with_serial_results() {
+    check(
+        "pool: result bytes independent of worker count",
+        gen_shape,
+        shrink_shape,
+        |&(workers, jobs)| {
+            let items: Vec<usize> = (0..jobs).collect();
+            let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+            let serial: Vec<u64> = items.iter().map(|&i| f(i)).collect();
+            let pooled = Pool::new(workers).par_map(items, f);
+            prop_assert_eq!(pooled, serial, "worker count {workers} changed results");
+            Ok(())
+        },
+    );
+}

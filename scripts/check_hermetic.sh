@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "== offline test suite =="
 cargo test -q --offline
 
+echo "== parallel runner is deterministic (--jobs 1 vs --jobs 4) =="
+cargo test -q --offline --test parallel_determinism
+
 echo "== dependency closure is sentinel-* only =="
 bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
 if [[ -n "$bad_lock" ]]; then

@@ -23,6 +23,10 @@
 //! * [`baselines`] — the eight comparison systems from the paper's
 //!   evaluation (IAL, AutoTM, vDNN, SwapAdvisor, Capuchin, UM, first-touch
 //!   NUMA and Memory Mode).
+//! * [`bench`] — the experiment registry regenerating every table and
+//!   figure of the paper, runnable serially or on a worker pool.
+//! * [`util`] — zero-dependency runtime utilities (seeded RNG, JSON,
+//!   property-test harness, timing harness, scoped thread pool).
 //!
 //! ## Quickstart
 //!
@@ -47,8 +51,10 @@
 //! ```
 
 pub use sentinel_baselines as baselines;
+pub use sentinel_bench as bench;
 pub use sentinel_core as core;
 pub use sentinel_dnn as dnn;
 pub use sentinel_mem as mem;
 pub use sentinel_models as models;
 pub use sentinel_profiler as profiler;
+pub use sentinel_util as util;

@@ -1,0 +1,175 @@
+//! Golden-shape tests: run the fast-mode figure/table generators and assert
+//! the qualitative shapes documented in DESIGN.md §5 and EXPERIMENTS.md, so a
+//! policy regression fails a test instead of silently bending a figure.
+//!
+//! These deliberately assert *shapes* (orderings, bounds, flatness) with
+//! tolerance rather than golden numbers: the numeric values shift whenever a
+//! cost model is retuned, but the paper's qualitative claims must not.
+
+use sentinel::bench::{experiment_registry, ExpConfig};
+use sentinel::util::{Json, ToJson};
+
+/// Run one experiment in fast mode and return its serialized `data` payload.
+fn run(id: &str) -> Json {
+    let (_, generator) = experiment_registry()
+        .into_iter()
+        .find(|(known, _)| *known == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    let result = generator(&ExpConfig::new(true));
+    let json = result.to_json();
+    json.get("data").unwrap_or_else(|| panic!("{id}: no data payload")).clone()
+}
+
+/// Extract a numeric field, accepting any of the JSON number variants.
+fn num(row: &Json, key: &str) -> f64 {
+    match row.get(key) {
+        Some(Json::F64(v)) => *v,
+        Some(Json::U64(v)) => *v as f64,
+        Some(Json::I64(v)) => *v as f64,
+        other => panic!("field {key} is not a number: {other:?}"),
+    }
+}
+
+/// Extract a nullable numeric field (`null` marks "n/a", e.g. vDNN on
+/// models without convolution layers).
+fn opt_num(row: &Json, key: &str) -> Option<f64> {
+    match row.get(key) {
+        Some(Json::Null) => None,
+        _ => Some(num(row, key)),
+    }
+}
+
+fn rows(data: &Json) -> &[Json] {
+    match data {
+        Json::Arr(rows) => rows,
+        other => panic!("data is not an array: {other:?}"),
+    }
+}
+
+/// Figure 7 (DESIGN §5): Sentinel at 20% fast memory approaches fast-only
+/// performance and beats AutoTM, while IAL trails every other policy.
+#[test]
+fn fig7_sentinel_near_fast_only_and_ial_worst() {
+    let data = run("fig7");
+    let mut fast_sum = 0.0;
+    let mut sentinel_sum = 0.0;
+    for row in rows(&data) {
+        let model = row.get("model").map(|m| m.to_string()).unwrap_or_default();
+        let fast_only = num(row, "fast_only");
+        let ial = num(row, "ial");
+        let autotm = num(row, "autotm");
+        let sentinel = num(row, "sentinel");
+
+        for (name, v) in [("fast_only", fast_only), ("ial", ial), ("autotm", autotm), ("sentinel", sentinel)] {
+            assert!(v >= 0.95, "{model}: {name} = {v:.3} is below slow-only parity");
+        }
+        assert!(ial <= autotm && ial <= sentinel, "{model}: IAL ({ial:.3}) should be the weakest policy");
+        assert!(sentinel >= autotm, "{model}: Sentinel ({sentinel:.3}) should beat AutoTM ({autotm:.3})");
+        assert!(sentinel <= fast_only * 1.001, "{model}: Sentinel ({sentinel:.3}) cannot beat fast-only ({fast_only:.3})");
+        fast_sum += fast_only;
+        sentinel_sum += sentinel;
+    }
+    assert!(
+        sentinel_sum >= 0.75 * fast_sum,
+        "Sentinel mean speedup ({:.3}) fell below 75% of fast-only ({:.3})",
+        sentinel_sum / 5.0,
+        fast_sum / 5.0
+    );
+}
+
+/// Figure 10 (DESIGN §5): Sentinel's overhead over fast-only is bounded and
+/// flat — already close to parity at 20% fast memory, no worse at 60%.
+#[test]
+fn fig10_overhead_is_bounded_and_shrinks_with_fast_size() {
+    let data = run("fig10");
+    for row in rows(&data) {
+        let model = row.get("model").map(|m| m.to_string()).unwrap_or_default();
+        let rel = match row.get("relative_to_fast_only") {
+            Some(Json::Arr(vals)) => vals
+                .iter()
+                .map(|v| match v {
+                    Json::F64(v) => *v,
+                    Json::U64(v) => *v as f64,
+                    other => panic!("{model}: non-numeric point {other:?}"),
+                })
+                .collect::<Vec<f64>>(),
+            other => panic!("{model}: missing relative_to_fast_only: {other:?}"),
+        };
+        assert_eq!(rel.len(), 5, "{model}: expected points at 20..60%");
+        for (i, v) in rel.iter().enumerate() {
+            assert!(
+                (0.95..=1.7).contains(v),
+                "{model}: point {i} = {v:.3} outside the near-parity band [0.95, 1.7]"
+            );
+        }
+        // Curve trends toward parity as fast memory grows...
+        assert!(
+            rel[4] <= rel[0] * 1.001,
+            "{model}: overhead at 60% ({:.3}) exceeds overhead at 20% ({:.3})",
+            rel[4],
+            rel[0]
+        );
+        // ...and is flat from the start: 20% is within 25% of the 40% point.
+        assert!(
+            rel[0] <= rel[2] * 1.25,
+            "{model}: overhead cliff between 20% ({:.3}) and 40% ({:.3})",
+            rel[0],
+            rel[2]
+        );
+    }
+}
+
+/// Figure 12 (EXPERIMENTS.md): across the GPU grid, vDNN is the weakest
+/// policy, Sentinel-GPU tracks UM closely, stays ahead of Capuchin on
+/// average and within 10% of the best-performing policy's mean.
+#[test]
+fn fig12_sentinel_gpu_competitive_and_vdnn_worst() {
+    let data = run("fig12");
+    let policies = ["vdnn", "autotm", "swapadvisor", "capuchin", "sentinel_gpu"];
+    let mut sums = [0.0f64; 5];
+    let mut counts = [0usize; 5];
+    for row in rows(&data) {
+        assert!((num(row, "um") - 1.0).abs() < 1e-9, "UM is the normalizer and must be 1.0");
+        for (p, name) in policies.iter().enumerate() {
+            if let Some(v) = opt_num(row, name) {
+                assert!(v > 0.0 && v < 5.0, "{name} throughput {v:.3} is implausible");
+                sums[p] += v;
+                counts[p] += 1;
+            }
+        }
+    }
+    let mean = |p: usize| sums[p] / counts[p] as f64;
+    let (vdnn, capuchin, sentinel) = (mean(0), mean(3), mean(4));
+    let best = (0..5).map(mean).fold(f64::MIN, f64::max);
+    for p in 1..5 {
+        assert!(vdnn <= mean(p), "vDNN mean ({vdnn:.3}) should be the weakest, but beats {}", policies[p]);
+    }
+    assert!(sentinel >= capuchin, "Sentinel-GPU mean ({sentinel:.3}) fell behind Capuchin ({capuchin:.3})");
+    assert!(sentinel >= 0.9 * best, "Sentinel-GPU mean ({sentinel:.3}) more than 10% behind the best policy ({best:.3})");
+    assert!(sentinel >= 0.85, "Sentinel-GPU mean ({sentinel:.3}) fell well below UM parity");
+}
+
+/// Table V (DESIGN §5 / EXPERIMENTS.md): maximum trainable batch size obeys
+/// the paper's ordering — Sentinel ≥ Capuchin ≥ AutoTM ≥ SwapAdvisor ≥
+/// vDNN ≥ TensorFlow — with Sentinel strictly beating plain TensorFlow.
+#[test]
+fn table5_max_batch_ordering_holds() {
+    let data = run("table5");
+    for row in rows(&data) {
+        let model = row.get("model").map(|m| m.to_string()).unwrap_or_default();
+        let tf = num(row, "tensorflow");
+        let sa = num(row, "swapadvisor");
+        let autotm = num(row, "autotm");
+        let capuchin = num(row, "capuchin");
+        let sentinel = num(row, "sentinel");
+        if let Some(vdnn) = opt_num(row, "vdnn") {
+            assert!(sa >= vdnn, "{model}: SwapAdvisor ({sa}) below vDNN ({vdnn})");
+            assert!(vdnn >= tf, "{model}: vDNN ({vdnn}) below TensorFlow ({tf})");
+        }
+        assert!(sentinel >= capuchin, "{model}: Sentinel ({sentinel}) below Capuchin ({capuchin})");
+        assert!(capuchin >= autotm, "{model}: Capuchin ({capuchin}) below AutoTM ({autotm})");
+        assert!(autotm >= sa, "{model}: AutoTM ({autotm}) below SwapAdvisor ({sa})");
+        assert!(sa >= tf, "{model}: SwapAdvisor ({sa}) below TensorFlow ({tf})");
+        assert!(sentinel > tf, "{model}: Sentinel ({sentinel}) does not extend TensorFlow's batch ({tf})");
+    }
+}

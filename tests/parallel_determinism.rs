@@ -1,0 +1,35 @@
+//! Parallelism is a wall-clock knob only: running experiments on one worker
+//! or many must produce byte-identical serialized results. This locks down
+//! the contract behind `run_experiments --jobs N` for a fast subset that
+//! exercises every parallel fan-out — Fig. 10's model × fast-size cells,
+//! Fig. 12's model × batch × policy grid (including SwapAdvisor's
+//! pool-backed GA), and Table V's per-policy batch searches.
+
+use sentinel::bench::{experiment_registry, ExpConfig};
+use sentinel::util::ToJson;
+
+/// Render one experiment to its on-disk JSON bytes at a given job count.
+/// `set_default_jobs` steers pools sized from the environment (the GA deep
+/// inside `run_gpu_baseline`), exactly as the `--jobs` flag does.
+fn render(id: &str, jobs: usize) -> String {
+    let (_, generator) = experiment_registry()
+        .into_iter()
+        .find(|(known, _)| *known == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    sentinel::util::set_default_jobs(jobs);
+    let result = generator(&ExpConfig::new(true).with_jobs(jobs));
+    sentinel::util::set_default_jobs(0);
+    result.to_json().to_pretty_string()
+}
+
+#[test]
+fn fast_subset_is_byte_identical_at_any_job_count() {
+    for id in ["fig10", "table5", "fig12"] {
+        let serial = render(id, 1);
+        let parallel = render(id, 4);
+        assert_eq!(
+            serial, parallel,
+            "{id}: serialized result changed between --jobs 1 and --jobs 4"
+        );
+    }
+}
