@@ -8,7 +8,7 @@
 //! served at cache speed and are invisible to the page-access profiler,
 //! misses go to the backing tier and are counted.
 
-use crate::Ns;
+use crate::{Ns, PageRange};
 
 /// Configuration of the [`CacheFilter`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,12 +69,34 @@ pub enum CacheOutcome {
     Miss,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     tag: u64,
     valid: bool,
     /// LRU stamp: larger == more recently used.
     stamp: u64,
+}
+
+/// Outcome of a batched [`CacheFilter::probe_range`].
+///
+/// Equivalent to probing every page of the range in ascending order: the
+/// counters and final cache state are identical, but set/base derivation and
+/// LRU bookkeeping are shared across the whole range.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeProbe {
+    /// Pages of the range that hit, in ascending order. Hits are bounded by
+    /// the cache's line count, so this stays small even for huge ranges.
+    pub hit_pages: Vec<u64>,
+    /// Number of pages that missed (`range.count - hit_pages.len()`).
+    pub misses: u64,
+}
+
+impl RangeProbe {
+    /// Number of pages that hit.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hit_pages.len() as u64
+    }
 }
 
 /// A page-granular set-associative LRU cache filter.
@@ -86,7 +108,7 @@ struct Line {
 /// assert_eq!(cache.probe(42), CacheOutcome::Miss);
 /// assert_eq!(cache.probe(42), CacheOutcome::Hit);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheFilter {
     spec: CacheFilterSpec,
     sets: usize,
@@ -134,14 +156,142 @@ impl CacheFilter {
 
         // Miss: install into invalid slot or LRU victim.
         self.misses += 1;
-        let victim = slots
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-            .expect("cache sets are non-empty");
+        let victim = &mut slots[victim_index(slots)];
         victim.tag = page;
         victim.valid = true;
         victim.stamp = self.tick;
         CacheOutcome::Miss
+    }
+
+    /// Probe every page of a contiguous range, batched.
+    ///
+    /// Counters and final cache state are byte-identical to calling
+    /// [`CacheFilter::probe`] for each page in ascending order (the
+    /// equivalence property suite enforces this). Two optimizations apply:
+    /// set and base indices are derived once per set rather than per page,
+    /// and — the large-range bypass — once a set holds only lines touched by
+    /// this range, every remaining page of the range mapping to that set is
+    /// a compulsory miss (range pages are distinct), so the tail of the
+    /// per-set page sequence is resolved in O(ways) instead of O(pages).
+    pub fn probe_range(&mut self, range: PageRange) -> RangeProbe {
+        let mut out = RangeProbe::default();
+        if range.is_empty() {
+            return out;
+        }
+        let ways = self.spec.ways.max(1);
+        // Small ranges: the per-page loop is cheap and skips the per-set
+        // bookkeeping. Any threshold is correctness-neutral; 2× the line
+        // count is where the per-set pass starts winning.
+        if range.count < 2 * self.lines.len() as u64 {
+            for p in range.iter() {
+                match self.probe(p) {
+                    CacheOutcome::Hit => out.hit_pages.push(p),
+                    CacheOutcome::Miss => out.misses += 1,
+                }
+            }
+            return out;
+        }
+
+        let tick0 = self.tick;
+        self.tick += range.count;
+        let sets = self.sets as u64;
+        // Scratch reused across sets; `ours[j]` marks slots whose line was
+        // installed or refreshed by this range (such lines can never match a
+        // later, strictly larger page of the range).
+        let mut ours = vec![false; ways];
+        let mut order: Vec<usize> = Vec::with_capacity(ways);
+        for set in 0..sets {
+            // Pages of `range` in this set form an arithmetic progression
+            // `first_p, first_p + sets, ...` below `range.end()`.
+            let offset = (set + sets - range.first % sets) % sets;
+            let first_p = range.first + offset;
+            if first_p >= range.end() {
+                continue;
+            }
+            let k = (range.end() - first_p).div_ceil(sets);
+            let base = set as usize * ways;
+            let slots = &mut self.lines[base..base + ways];
+
+            // Victim rotation order if every page were to miss: ascending
+            // (valid, stamp), ties broken by slot index (the sort is stable),
+            // matching `victim_index`'s first-minimum choice. Installs always
+            // stamp above `tick0`, so pre-existing lines keep their ranks.
+            order.clear();
+            order.extend(0..ways);
+            order.sort_by_key(|&j| victim_key(&slots[j]));
+
+            // Closed-form check: a pre-existing line can hit only if its page
+            // is probed no later than the rotation evicts it — probe index
+            // `(tag - first_p) / sets` at most its victim rank (probe `i`
+            // happens before eviction `i` lands). If no line qualifies,
+            // "every page misses" is self-consistent (the first hit would
+            // have to happen after its own eviction), and the whole set
+            // resolves below without the faithful per-page phase.
+            let may_hit = order.iter().enumerate().any(|(r, &j)| {
+                let l = &slots[j];
+                l.valid
+                    && first_p <= l.tag
+                    && l.tag < range.end()
+                    && (l.tag - first_p) / sets <= r as u64
+            });
+
+            // Phase 1: faithful per-page simulation until every line in the
+            // set belongs to this range (or the pages run out).
+            let mut idx = 0u64;
+            if may_hit {
+                ours.fill(false);
+                let mut ours_count = 0;
+                while idx < k && ours_count < ways {
+                    let p = first_p + idx * sets;
+                    let stamp = tick0 + (p - range.first) + 1;
+                    let j = match slots.iter().position(|l| l.valid && l.tag == p) {
+                        Some(j) => {
+                            slots[j].stamp = stamp;
+                            self.hits += 1;
+                            out.hit_pages.push(p);
+                            j
+                        }
+                        None => {
+                            self.misses += 1;
+                            out.misses += 1;
+                            let j = victim_index(slots);
+                            slots[j] = Line { tag: p, valid: true, stamp };
+                            j
+                        }
+                    };
+                    if !ours[j] {
+                        ours[j] = true;
+                        ours_count += 1;
+                    }
+                    idx += 1;
+                }
+                // Phase 2's rotation starts from the stamps phase 1 left.
+                order.clear();
+                order.extend(0..ways);
+                order.sort_by_key(|&j| victim_key(&slots[j]));
+            }
+
+            // Phase 2: the remaining pages are compulsory misses. Victims
+            // rotate through the slots in ascending-stamp order, so the set
+            // ends up holding the last `ways` pages of the progression.
+            let m = k - idx;
+            if m == 0 {
+                continue;
+            }
+            self.misses += m;
+            out.misses += m;
+            let installs = m.min(ways as u64) as usize;
+            for (r, &j) in order.iter().enumerate().take(installs) {
+                // Installs land in order[r] at phase-2 indices ≡ r (mod ways);
+                // the slot keeps the last such page.
+                let r = r as u64;
+                let i_last = r + (m - 1 - r) / ways as u64 * ways as u64;
+                let p = first_p + (idx + i_last) * sets;
+                slots[j] = Line { tag: p, valid: true, stamp: tick0 + (p - range.first) + 1 };
+            }
+        }
+        out.hit_pages.sort_unstable();
+        out
     }
 
     /// Invalidate a page (e.g. after it is unmapped or migrated).
@@ -152,6 +302,23 @@ impl CacheFilter {
         for line in &mut self.lines[base..base + ways] {
             if line.valid && line.tag == page {
                 line.valid = false;
+            }
+        }
+    }
+
+    /// Invalidate every page of a range. For ranges wider than the cache it
+    /// sweeps the lines once instead of probing set-by-set per page; the
+    /// final state is identical either way.
+    pub fn invalidate_range(&mut self, range: PageRange) {
+        if range.count as usize >= self.lines.len() {
+            for line in &mut self.lines {
+                if line.valid && range.contains(line.tag) {
+                    line.valid = false;
+                }
+            }
+        } else {
+            for p in range.iter() {
+                self.invalidate(p);
             }
         }
     }
@@ -180,6 +347,33 @@ impl CacheFilter {
     pub fn hit_time_ns(&self, bytes: u64) -> Ns {
         self.spec.hit_latency_ns + (bytes as f64 / self.spec.hit_bw_bytes_per_ns).ceil() as Ns
     }
+}
+
+/// Eviction priority of a line: invalid slots (key 0) go first, then lowest
+/// LRU stamp. Shared by `victim_index` and the batched probe's rotation order
+/// so the two paths cannot diverge.
+fn victim_key(l: &Line) -> u64 {
+    if l.valid {
+        l.stamp
+    } else {
+        0
+    }
+}
+
+/// Eviction victim of a set: the first slot minimising [`victim_key`].
+/// Shared by the per-page and batched probe paths so their choices cannot
+/// diverge.
+fn victim_index(slots: &[Line]) -> usize {
+    let mut best = 0;
+    let mut best_key = victim_key(&slots[0]);
+    for (j, l) in slots.iter().enumerate().skip(1) {
+        let k = victim_key(l);
+        if k < best_key {
+            best = j;
+            best_key = k;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -249,6 +443,77 @@ mod tests {
         let c = CacheFilter::new(tiny_spec());
         assert_eq!(c.hit_time_ns(100), 2);
         assert!(c.hit_time_ns(10_000) > c.hit_time_ns(100));
+    }
+
+    /// Probe `range` page-by-page on one filter and batched on a clone; both
+    /// counters and the full internal state must be identical.
+    fn assert_probe_equivalent(reference: &mut CacheFilter, range: PageRange) {
+        let mut batched = reference.clone();
+        let mut ref_probe = RangeProbe::default();
+        for p in range.iter() {
+            match reference.probe(p) {
+                CacheOutcome::Hit => ref_probe.hit_pages.push(p),
+                CacheOutcome::Miss => ref_probe.misses += 1,
+            }
+        }
+        let got = batched.probe_range(range);
+        assert_eq!(got, ref_probe, "probe outcome diverged for {range}");
+        assert_eq!(&mut batched, reference, "cache state diverged for {range}");
+    }
+
+    #[test]
+    fn probe_range_matches_per_page_small_and_large() {
+        // Warm the filter with a stride pattern, then probe ranges around,
+        // inside and far beyond the 4-line capacity (the large-range bypass
+        // kicks in above 8 pages for this spec).
+        for warm_stride in [1u64, 2, 3, 7] {
+            let mut c = CacheFilter::new(tiny_spec());
+            for i in 0..6 {
+                c.probe(3 + i * warm_stride);
+            }
+            for range in [
+                PageRange::new(0, 1),
+                PageRange::new(2, 5),
+                PageRange::new(0, 8),
+                PageRange::new(1, 9),
+                PageRange::new(3, 40),
+                PageRange::new(0, 64),
+                PageRange::new(5, 33),
+                PageRange::empty(),
+            ] {
+                assert_probe_equivalent(&mut c, range);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_range_bypass_counts_compulsory_misses() {
+        let mut c = CacheFilter::new(tiny_spec());
+        // 64 cold pages over a 4-line cache: all miss, and afterwards the
+        // last pages of each set progression are resident.
+        let probe = c.probe_range(PageRange::new(0, 64));
+        assert_eq!(probe.hits(), 0);
+        assert_eq!(probe.misses, 64);
+        assert_eq!(c.misses(), 64);
+        // Re-probing the final pages hits (2 sets × 2 ways: 60..64).
+        assert_eq!(c.probe(63), CacheOutcome::Hit);
+        assert_eq!(c.probe(0), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn invalidate_range_matches_per_page() {
+        for count in [3u64, 8, 64] {
+            let mut a = CacheFilter::new(tiny_spec());
+            for p in 0..10 {
+                a.probe(p);
+            }
+            let mut b = a.clone();
+            a.invalidate_range(PageRange::new(2, count));
+            for p in 2..2 + count {
+                b.invalidate(p);
+            }
+            assert_eq!(a, b);
+        }
     }
 }
 

@@ -61,7 +61,7 @@ mod system;
 mod table;
 mod tier;
 
-pub use cache::{CacheFilter, CacheFilterSpec, CacheOutcome};
+pub use cache::{CacheFilter, CacheFilterSpec, CacheOutcome, RangeProbe};
 pub use config::{GpuHmPreset, HmConfig, OptaneHmPreset, TierSpec};
 pub use error::MemError;
 pub use memmode::{MemoryModeCache, MemoryModeSpec, MemoryModeStats};
@@ -70,7 +70,7 @@ pub use page::{pages_for_bytes, PageRange, PAGE_SIZE_DEFAULT};
 pub use profiler::{PageAccessMap, PageAccessProfiler};
 pub use stats::{BandwidthSample, MemStats, StatsTimeline};
 pub use system::{AccessKind, AccessReport, MemorySystem};
-pub use table::{PageState, PageTable, Pte};
+pub use table::{PageState, PageTable, Pte, PteRun, PteRuns};
 pub use tier::Tier;
 
 /// Simulated time in nanoseconds.

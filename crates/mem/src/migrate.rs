@@ -144,6 +144,11 @@ impl MigrationEngine {
 
     /// Remove and return every batch completed by `now`.
     pub fn drain_completed(&mut self, now: Ns) -> Vec<InFlight> {
+        // Polls vastly outnumber completions on the hot path; skip the
+        // drain-and-repartition (two allocations) unless something landed.
+        if !self.in_flight.iter().any(|f| f.ready_at <= now) {
+            return Vec::new();
+        }
         let (done, pending): (Vec<_>, Vec<_>) =
             self.in_flight.drain(..).partition(|f| f.ready_at <= now);
         self.in_flight = pending;

@@ -13,12 +13,30 @@
 //! configured fault overhead, and immediately re-poisons — so each counted
 //! access costs one fault, exactly like the real mechanism.
 
-use std::collections::HashMap;
+use crate::PageRange;
 
 /// Per-page main-memory access counts collected during a profiling step.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Counts are stored densely, indexed by page number — pages are small
+/// contiguous indices into the simulated virtual space, so this is both
+/// smaller and much faster than a hash map, and it makes the bulk
+/// [`PageAccessProfiler::record_faults`] a straight `+= 1` sweep over a
+/// slice. Equality ignores trailing never-touched pages: two maps are equal
+/// iff they record the same count for every page.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct PageAccessMap {
-    counts: HashMap<u64, u64>,
+    counts: Vec<u64>,
+    total: u64,
+    touched: usize,
+}
+
+impl PartialEq for PageAccessMap {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) =
+            if self.counts.len() <= other.counts.len() { (self, other) } else { (other, self) };
+        short.counts == long.counts[..short.counts.len()]
+            && long.counts[short.counts.len()..].iter().all(|&c| c == 0)
+    }
 }
 
 impl PageAccessMap {
@@ -31,34 +49,58 @@ impl PageAccessMap {
     /// Accesses counted for `page` (zero if never faulted).
     #[must_use]
     pub fn count(&self, page: u64) -> u64 {
-        self.counts.get(&page).copied().unwrap_or(0)
+        self.counts.get(page as usize).copied().unwrap_or(0)
     }
 
     /// Sum of counts over a page range.
     #[must_use]
-    pub fn count_range(&self, range: crate::PageRange) -> u64 {
-        range.iter().map(|p| self.count(p)).sum()
+    pub fn count_range(&self, range: PageRange) -> u64 {
+        let start = (range.first as usize).min(self.counts.len());
+        let end = (range.end() as usize).min(self.counts.len()).max(start);
+        self.counts[start..end].iter().sum()
     }
 
     /// Total accesses counted.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.total
     }
 
     /// Number of distinct pages that faulted at least once.
     #[must_use]
     pub fn touched_pages(&self) -> usize {
-        self.counts.len()
+        self.touched
     }
 
-    /// Iterate over `(page, count)` pairs in unspecified order.
+    /// Iterate over `(page, count)` pairs for touched pages, in ascending
+    /// page order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().map(|(&p, &c)| (p, c))
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, &c)| (p as u64, c))
     }
 
     fn bump(&mut self, page: u64) {
-        *self.counts.entry(page).or_insert(0) += 1;
+        self.record_range(PageRange::new(page, 1));
+    }
+
+    /// Add one access to every page of `range` (bulk fault recording).
+    fn record_range(&mut self, range: PageRange) {
+        if range.is_empty() {
+            return;
+        }
+        if range.end() as usize > self.counts.len() {
+            self.counts.resize(range.end() as usize, 0);
+        }
+        for c in &mut self.counts[range.first as usize..range.end() as usize] {
+            if *c == 0 {
+                self.touched += 1;
+            }
+            *c += 1;
+        }
+        self.total += range.count;
     }
 }
 
@@ -68,7 +110,7 @@ impl PageAccessMap {
 /// to a poisoned page here. Counting is per 4 KiB page; combined with
 /// page-aligned tensor allocation this *is* tensor-level profiling (the
 /// paper's key bridging of the OS/application semantic gap).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct PageAccessProfiler {
     map: PageAccessMap,
     faults: u64,
@@ -86,6 +128,14 @@ impl PageAccessProfiler {
         self.map.bump(page);
         self.faults += 1;
         self.faults
+    }
+
+    /// Record one protection fault for every page of `range` — the bulk
+    /// path taken when a whole poisoned run misses the cache filter.
+    /// Equivalent to calling [`PageAccessProfiler::record_fault`] per page.
+    pub fn record_faults(&mut self, range: PageRange) {
+        self.map.record_range(range);
+        self.faults += range.count;
     }
 
     /// Total faults handled.
@@ -146,5 +196,43 @@ mod tests {
         let mut pages: Vec<_> = p.map().iter().map(|(pg, _)| pg).collect();
         pages.sort_unstable();
         assert_eq!(pages, vec![10, 11]);
+    }
+
+    #[test]
+    fn bulk_faults_match_per_page_faults() {
+        let mut bulk = PageAccessProfiler::new();
+        let mut per_page = PageAccessProfiler::new();
+        bulk.record_faults(PageRange::new(2, 5));
+        bulk.record_faults(PageRange::new(4, 2));
+        bulk.record_faults(PageRange::empty());
+        for page in 2..7 {
+            per_page.record_fault(page);
+        }
+        for page in 4..6 {
+            per_page.record_fault(page);
+        }
+        assert_eq!(bulk, per_page);
+        assert_eq!(bulk.faults(), 7);
+        assert_eq!(bulk.map().total(), 7);
+        assert_eq!(bulk.map().touched_pages(), 5);
+        assert_eq!(bulk.map().count(4), 2);
+    }
+
+    #[test]
+    fn map_equality_compares_counts_not_capacity() {
+        let mut a = PageAccessProfiler::new();
+        let mut b = PageAccessProfiler::new();
+        a.record_fault(1);
+        b.record_fault(1);
+        assert_eq!(a.map(), b.map());
+        // Different recording order, same counts.
+        let mut c = PageAccessProfiler::new();
+        c.record_faults(PageRange::new(0, 4));
+        let mut d = PageAccessProfiler::new();
+        for page in [3, 1, 0, 2] {
+            d.record_fault(page);
+        }
+        assert_eq!(c.map(), d.map());
+        assert_ne!(a.map(), c.map());
     }
 }

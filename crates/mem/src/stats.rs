@@ -32,7 +32,7 @@ impl BandwidthSample {
 }
 
 /// Bytes-per-tier bucketed over simulated time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsTimeline {
     bucket_ns: Ns,
     buckets: Vec<BandwidthSample>,

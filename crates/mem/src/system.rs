@@ -6,7 +6,7 @@ use crate::memmode::{MemoryModeCache, MemoryModeSpec};
 use crate::migrate::{Direction, InFlight, MigrationEngine, MigrationTicket};
 use crate::profiler::{PageAccessMap, PageAccessProfiler};
 use crate::stats::{MemStats, StatsTimeline};
-use crate::table::{PageState, PageTable};
+use crate::table::{PageState, PageTable, PteRun};
 use crate::{MemError, Ns, PageRange, Tier};
 
 /// Whether an access reads or writes memory.
@@ -41,6 +41,9 @@ pub struct AccessReport {
     pub bytes_fast: u64,
     /// Payload bytes serviced by slow memory.
     pub bytes_slow: u64,
+    /// Payload bytes absorbed by the cache filter. Together with
+    /// `bytes_fast + bytes_slow` this always sums to the requested `bytes`.
+    pub bytes_cache: u64,
 }
 
 /// A simulated two-tier heterogeneous memory.
@@ -116,21 +119,18 @@ impl MemorySystem {
     /// [`MemError::CapacityExceeded`] if the tier lacks space.
     pub fn map(&mut self, range: PageRange, tier: Tier, _now: Ns) -> Result<(), MemError> {
         self.table.check_range(range)?;
-        for p in range.iter() {
-            if self.table.tier_of(p).is_some() {
-                return Err(MemError::AlreadyMapped { page: p });
+        for run in self.table.runs_in(range) {
+            if matches!(run.pte.state, PageState::Mapped(_)) {
+                return Err(MemError::AlreadyMapped { page: run.range.first });
             }
         }
         let free = self.free_pages(tier);
         if range.count > free {
             return Err(MemError::CapacityExceeded { tier, requested_pages: range.count, free_pages: free });
         }
-        for p in range.iter() {
-            let pte = self.table.get_mut(p).expect("range checked");
-            pte.state = PageState::Mapped(tier);
-            if self.profiler.is_some() {
-                pte.poisoned = true;
-            }
+        self.table.set_state(range, PageState::Mapped(tier));
+        if self.profiler.is_some() {
+            self.table.set_poisoned(range, true);
         }
         self.used_pages[tier.index()] += range.count;
         self.stats.observe_mapped(self.used_pages);
@@ -149,23 +149,25 @@ impl MemorySystem {
     pub fn unmap(&mut self, range: PageRange, now: Ns) -> Result<(), MemError> {
         self.table.check_range(range)?;
         // Abort overlapping in-flight batches before releasing frames.
-        if range.iter().any(|p| self.table.get(p).map(|e| e.in_flight).unwrap_or(false)) {
+        if self.table.any_in_flight(range) {
             self.abort_migrations_overlapping(range, now);
         }
-        for p in range.iter() {
-            if self.table.tier_of(p).is_none() {
-                return Err(MemError::NotMapped { page: p });
+        // Validate and count per-tier pages in one run-granular pass, then
+        // release everything in bulk.
+        let mut per_tier = [0u64; 2];
+        for run in self.table.runs_in(range) {
+            match run.pte.state {
+                PageState::Mapped(t) => per_tier[t.index()] += run.range.count,
+                PageState::Unmapped => return Err(MemError::NotMapped { page: run.range.first }),
             }
         }
-        for p in range.iter() {
-            let tier = self.table.tier_of(p).expect("checked above");
-            let pte = self.table.get_mut(p).expect("range checked");
-            pte.state = PageState::Unmapped;
-            pte.poisoned = false;
-            self.used_pages[tier.index()] -= 1;
-            if let Some(cache) = &mut self.cache {
-                cache.invalidate(p);
-            }
+        self.table.set_state(range, PageState::Unmapped);
+        self.table.set_poisoned(range, false);
+        for tier in Tier::both() {
+            self.used_pages[tier.index()] -= per_tier[tier.index()];
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_range(range);
         }
         Ok(())
     }
@@ -198,22 +200,16 @@ impl MemorySystem {
     /// not in flight. Useful for building strict migration batches.
     #[must_use]
     pub fn subranges_in_tier(&self, range: PageRange, tier: Tier) -> Vec<PageRange> {
-        let mut out = Vec::new();
-        let mut start: Option<u64> = None;
-        for p in range.iter() {
-            let eligible = self.table.tier_of(p) == Some(tier)
-                && !self.table.get(p).map(|e| e.in_flight).unwrap_or(true);
-            match (eligible, start) {
-                (true, None) => start = Some(p),
-                (false, Some(s)) => {
-                    out.push(PageRange::new(s, p - s));
-                    start = None;
+        let mut out: Vec<PageRange> = Vec::new();
+        for run in self.table.runs_in(range) {
+            if run.pte.state == PageState::Mapped(tier) && !run.pte.in_flight {
+                // Adjacent runs may differ only in the poison bit; they are
+                // one contiguous eligible sub-range and must merge.
+                match out.last_mut() {
+                    Some(last) if last.end() == run.range.first => last.count += run.range.count,
+                    _ => out.push(run.range),
                 }
-                _ => {}
             }
-        }
-        if let Some(s) = start {
-            out.push(PageRange::new(s, range.end() - s));
         }
         out
     }
@@ -222,29 +218,175 @@ impl MemorySystem {
 
     /// Perform a timed access of `bytes` spread evenly over `range`.
     ///
-    /// The payload passes the cache filter page by page; misses reach main
-    /// memory where they are counted, possibly fault for profiling, and pay
-    /// the owning tier's latency/bandwidth. Pages mid-migration are serviced
-    /// from their source tier. Unmapped pages are serviced at slow-tier speed
-    /// and tallied in [`MemorySystem::unmapped_accesses`].
+    /// The payload passes the cache filter; misses reach main memory where
+    /// they are counted, possibly fault for profiling, and pay the owning
+    /// tier's latency/bandwidth. Pages mid-migration are serviced from their
+    /// source tier. Unmapped pages are serviced at slow-tier speed and
+    /// tallied in [`MemorySystem::unmapped_accesses`].
+    ///
+    /// Bytes are accounted twice, deliberately:
+    ///
+    /// * The **timing and traffic model** charges every page
+    ///   `(bytes / count).max(1)` — page-granular, exactly the historical
+    ///   behaviour, so recorded experiment results do not move.
+    /// * The **payload accounting** in the returned report distributes the
+    ///   remainder exactly: page `i` carries `bytes / count` (+1 for the
+    ///   first `bytes % count` pages), so
+    ///   `bytes_fast + bytes_slow + bytes_cache == bytes` always.
+    ///
+    /// This is the O(runs) fast path: it walks [`PageTable::runs_in`] and
+    /// resolves each equal-PTE run through the batched cache probe, bulk
+    /// fault recording and Memory-Mode run access, recording traffic once
+    /// per run instead of once per page. [`MemorySystem::access_per_page`]
+    /// is the per-page reference it must stay equivalent to.
     pub fn access(&mut self, range: PageRange, bytes: u64, kind: AccessKind, now: Ns) -> AccessReport {
         let mut report = AccessReport::default();
         if range.is_empty() || bytes == 0 {
             return report;
         }
-        let per_page = (bytes / range.count).max(1);
         let write = kind.is_write();
+        let per_model = (bytes / range.count).max(1);
+        let base = bytes / range.count;
+        let rem = bytes % range.count;
+        // Pages before the boundary carry one extra byte of payload.
+        let boundary = range.first + rem;
 
-        let mut cache_bytes = 0u64;
-        let mut tier_bytes = [0u64; 2];
+        let mut cache_model_bytes = 0u64;
+        let mut tier_model_bytes = [0u64; 2];
         let mut tier_touched = [false; 2];
 
-        for p in range.iter() {
+        for run in self.table.runs_in(range) {
+            let pte = run.pte;
+            // Split the run at the remainder boundary so every page of a
+            // piece carries the same payload.
+            let split = rem > 0 && run.range.first < boundary && boundary < run.range.end();
+            let pieces = if split {
+                [
+                    PageRange::new(run.range.first, boundary - run.range.first),
+                    PageRange::new(boundary, run.range.end() - boundary),
+                ]
+            } else {
+                [run.range, PageRange::empty()]
+            };
+            for sub in pieces {
+                if sub.is_empty() {
+                    continue;
+                }
+                let per_pay = if sub.first < boundary { base + 1 } else { base };
+
+                // Processor cache filter first: hits never reach main memory.
+                let (hits, misses) = match &mut self.cache {
+                    Some(cache) => {
+                        let probe = cache.probe_range(sub);
+                        report.cache_hits += probe.hits();
+                        cache_model_bytes += probe.hits() * per_model;
+                        report.bytes_cache += probe.hits() * per_pay;
+                        (probe.hit_pages, probe.misses)
+                    }
+                    None => (Vec::new(), sub.count),
+                };
+                if misses == 0 {
+                    continue;
+                }
+                report.mm_accesses += misses;
+
+                // Walk the maximal miss runs (the complement of the sorted
+                // hit pages within `sub`).
+                let mut cur = sub.first;
+                let mut h = 0usize;
+                while cur < sub.end() {
+                    if h < hits.len() && hits[h] == cur {
+                        cur += 1;
+                        h += 1;
+                        continue;
+                    }
+                    let next_hit = if h < hits.len() { hits[h] } else { sub.end() };
+                    let mr = PageRange::new(cur, next_hit - cur);
+                    cur = next_hit;
+
+                    // Profiling faults for every missed page of a poisoned
+                    // run; the fault handler re-poisons, so the bit stays
+                    // set for the next access.
+                    if pte.poisoned {
+                        if let Some(profiler) = &mut self.profiler {
+                            profiler.record_faults(mr);
+                            report.faults += mr.count;
+                            self.stats.profiling_faults += mr.count;
+                        }
+                    }
+
+                    // Memory Mode routes misses through the DRAM page cache.
+                    if let Some(memmode) = &mut self.memmode {
+                        let mm = memmode.access_run(mr, per_model, write, &self.cfg);
+                        report.elapsed_ns += mm.elapsed_ns;
+                        report.bytes_fast += mm.fast_pages * per_pay;
+                        report.bytes_slow += mm.slow_pages * per_pay;
+                        self.stats.mm_accesses[Tier::Fast.index()] += mm.fast_pages;
+                        self.stats.mm_accesses[Tier::Slow.index()] += mm.slow_pages;
+                        if mm.fast_pages > 0 {
+                            record_traffic_into(&mut self.stats, &mut self.timeline, Tier::Fast, mm.fast_pages * per_model, write, now);
+                        }
+                        if mm.slow_pages > 0 {
+                            record_traffic_into(&mut self.stats, &mut self.timeline, Tier::Slow, mm.slow_pages * per_model, write, now);
+                        }
+                        if mm.extra_slow_traffic_bytes > 0 {
+                            record_traffic_into(&mut self.stats, &mut self.timeline, Tier::Slow, mm.extra_slow_traffic_bytes, false, now);
+                        }
+                        continue;
+                    }
+
+                    let tier = match pte.state {
+                        PageState::Mapped(t) => t,
+                        PageState::Unmapped => {
+                            self.unmapped_accesses += mr.count;
+                            Tier::Slow
+                        }
+                    };
+                    self.stats.mm_accesses[tier.index()] += mr.count;
+                    tier_model_bytes[tier.index()] += mr.count * per_model;
+                    tier_touched[tier.index()] = true;
+                    match tier {
+                        Tier::Fast => report.bytes_fast += mr.count * per_pay,
+                        Tier::Slow => report.bytes_slow += mr.count * per_pay,
+                    }
+                    record_traffic_into(&mut self.stats, &mut self.timeline, tier, mr.count * per_model, write, now);
+                }
+            }
+        }
+
+        self.finish_access(&mut report, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        report
+    }
+
+    /// Per-page reference implementation of [`MemorySystem::access`].
+    ///
+    /// Probes the cache, faults and services memory one page at a time —
+    /// exactly the pre-batching pipeline. The equivalence property suite
+    /// drives this and the run-granular fast path over the same inputs and
+    /// requires identical reports, stats, timelines and component state; the
+    /// access-path bench uses it as the baseline.
+    pub fn access_per_page(&mut self, range: PageRange, bytes: u64, kind: AccessKind, now: Ns) -> AccessReport {
+        let mut report = AccessReport::default();
+        if range.is_empty() || bytes == 0 {
+            return report;
+        }
+        let write = kind.is_write();
+        let per_model = (bytes / range.count).max(1);
+        let base = bytes / range.count;
+        let rem = bytes % range.count;
+
+        let mut cache_model_bytes = 0u64;
+        let mut tier_model_bytes = [0u64; 2];
+        let mut tier_touched = [false; 2];
+
+        for (i, p) in range.iter().enumerate() {
+            let per_pay = base + u64::from((i as u64) < rem);
             // Processor cache filter first: hits never reach main memory.
             if let Some(cache) = &mut self.cache {
                 if cache.probe(p) == CacheOutcome::Hit {
                     report.cache_hits += 1;
-                    cache_bytes += per_page;
+                    cache_model_bytes += per_model;
+                    report.bytes_cache += per_pay;
                     continue;
                 }
             }
@@ -257,16 +399,16 @@ impl MemorySystem {
                     .memmode
                     .as_mut()
                     .expect("checked is_some")
-                    .access(p, per_page, write, &self.cfg);
+                    .access(p, per_model, write, &self.cfg);
                 report.elapsed_ns += mm.elapsed_ns;
                 match mm.serviced_by {
-                    Tier::Fast => report.bytes_fast += per_page,
-                    Tier::Slow => report.bytes_slow += per_page,
+                    Tier::Fast => report.bytes_fast += per_pay,
+                    Tier::Slow => report.bytes_slow += per_pay,
                 }
                 self.stats.mm_accesses[mm.serviced_by.index()] += 1;
-                self.record_traffic(mm.serviced_by, per_page, write, now);
-                if mm.slow_traffic_bytes > per_page {
-                    self.record_traffic(Tier::Slow, mm.slow_traffic_bytes - per_page, false, now);
+                self.record_traffic(mm.serviced_by, per_model, write, now);
+                if mm.slow_traffic_bytes > per_model {
+                    self.record_traffic(Tier::Slow, mm.slow_traffic_bytes - per_model, false, now);
                 }
                 continue;
             }
@@ -280,27 +422,43 @@ impl MemorySystem {
             };
             self.count_profiling_fault(p, &mut report);
             self.stats.mm_accesses[tier.index()] += 1;
-            tier_bytes[tier.index()] += per_page;
+            tier_model_bytes[tier.index()] += per_model;
             tier_touched[tier.index()] = true;
-            self.record_traffic(tier, per_page, write, now);
+            match tier {
+                Tier::Fast => report.bytes_fast += per_pay,
+                Tier::Slow => report.bytes_slow += per_pay,
+            }
+            self.record_traffic(tier, per_model, write, now);
         }
 
-        // Latency once per tier touched, bandwidth per byte.
+        self.finish_access(&mut report, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        report
+    }
+
+    /// Shared access epilogue: latency once per tier touched, cache hit
+    /// time and fault overhead, all charged on the page-granular model
+    /// bytes (the payload fields were filled exactly by the caller).
+    fn finish_access(
+        &mut self,
+        report: &mut AccessReport,
+        cache_model_bytes: u64,
+        tier_model_bytes: [u64; 2],
+        tier_touched: [bool; 2],
+        write: bool,
+    ) {
         for tier in Tier::both() {
             if tier_touched[tier.index()] {
-                report.elapsed_ns += self.cfg.tier(tier).access_time_ns(tier_bytes[tier.index()], write);
+                report.elapsed_ns +=
+                    self.cfg.tier(tier).access_time_ns(tier_model_bytes[tier.index()], write);
             }
         }
-        if cache_bytes > 0 {
+        if cache_model_bytes > 0 {
             if let Some(cache) = &self.cache {
-                report.elapsed_ns += cache.hit_time_ns(cache_bytes);
+                report.elapsed_ns += cache.hit_time_ns(cache_model_bytes);
             }
         }
         report.elapsed_ns += report.faults * self.cfg.fault_overhead_ns;
-        report.bytes_fast += tier_bytes[Tier::Fast.index()];
-        report.bytes_slow += tier_bytes[Tier::Slow.index()];
         self.stats.cache_hits += report.cache_hits;
-        report
     }
 
     fn count_profiling_fault(&mut self, page: u64, report: &mut AccessReport) {
@@ -317,14 +475,7 @@ impl MemorySystem {
     }
 
     fn record_traffic(&mut self, tier: Tier, bytes: u64, write: bool, now: Ns) {
-        if write {
-            self.stats.bytes_written[tier.index()] += bytes;
-        } else {
-            self.stats.bytes_read[tier.index()] += bytes;
-        }
-        if let Some(tl) = &mut self.timeline {
-            tl.record(tier, bytes, now);
-        }
+        record_traffic_into(&mut self.stats, &mut self.timeline, tier, bytes, write, now);
     }
 
     // ------------------------------------------------------------ migration
@@ -356,13 +507,15 @@ impl MemorySystem {
     fn migrate_with_priority(&mut self, range: PageRange, dest: Tier, now: Ns, urgent: bool) -> Result<MigrationTicket, MemError> {
         self.table.check_range(range)?;
         let src = dest.other();
-        for p in range.iter() {
-            let pte = self.table.get(p)?;
-            if pte.in_flight {
-                return Err(MemError::MigrationInFlight { page: p });
+        // Runs are PTE-homogeneous, so the first failing run's first page is
+        // the first failing page (in-flight outranks not-mapped, as in the
+        // per-page check).
+        for run in self.table.runs_in(range) {
+            if run.pte.in_flight {
+                return Err(MemError::MigrationInFlight { page: run.range.first });
             }
-            if self.table.tier_of(p) != Some(src) {
-                return Err(MemError::NotMapped { page: p });
+            if run.pte.state != PageState::Mapped(src) {
+                return Err(MemError::NotMapped { page: run.range.first });
             }
         }
         let free = self.free_pages(dest);
@@ -371,16 +524,13 @@ impl MemorySystem {
         }
         self.used_pages[dest.index()] += range.count;
         self.stats.observe_mapped(self.used_pages);
-        for p in range.iter() {
-            self.table.get_mut(p).expect("checked").in_flight = true;
-        }
+        self.table.set_in_flight(range, true);
         let direction = Direction::into_tier(dest);
         let ticket = if urgent {
             self.engine.enqueue_urgent(range, direction, now)
         } else {
             self.engine.enqueue(range, direction, now)
         };
-        let _ = src;
         Ok(ticket)
     }
 
@@ -395,16 +545,16 @@ impl MemorySystem {
         let dest = done.direction.dest();
         let src = done.direction.source();
         let mut moved_pages = 0u64;
-        for p in done.range.iter() {
-            let Ok(pte) = self.table.get_mut(p) else { continue };
-            if !pte.in_flight {
-                continue; // aborted (page freed mid-copy)
+        let runs: Vec<PteRun> = self.table.runs_in(done.range).collect();
+        for run in runs {
+            if !run.pte.in_flight {
+                continue; // aborted (page freed mid-copy) or never reserved
             }
-            pte.in_flight = false;
-            if pte.state == PageState::Mapped(src) {
-                pte.state = PageState::Mapped(dest);
-                self.used_pages[src.index()] -= 1;
-                moved_pages += 1;
+            self.table.set_in_flight(run.range, false);
+            if run.pte.state == PageState::Mapped(src) {
+                self.table.set_state(run.range, PageState::Mapped(dest));
+                self.used_pages[src.index()] -= run.range.count;
+                moved_pages += run.range.count;
                 // dest was reserved at enqueue.
             }
         }
@@ -445,7 +595,7 @@ impl MemorySystem {
     /// Whether any page of `range` has a migration in flight.
     #[must_use]
     pub fn range_in_flight(&self, range: PageRange) -> bool {
-        range.iter().any(|p| self.table.get(p).map(|e| e.in_flight).unwrap_or(false))
+        self.table.any_in_flight(range)
     }
 
     /// When every in-flight migration overlapping `range` completes, if any.
@@ -465,12 +615,12 @@ impl MemorySystem {
         let mut cancelled_pages = 0;
         for batch in self.engine.cancel_pending(now) {
             let dest = batch.direction.dest();
-            for p in batch.range.iter() {
-                let Ok(pte) = self.table.get_mut(p) else { continue };
-                if pte.in_flight {
-                    pte.in_flight = false;
-                    self.used_pages[dest.index()] -= 1;
-                    cancelled_pages += 1;
+            let runs: Vec<PteRun> = self.table.runs_in(batch.range).collect();
+            for run in runs {
+                if run.pte.in_flight {
+                    self.table.set_in_flight(run.range, false);
+                    self.used_pages[dest.index()] -= run.range.count;
+                    cancelled_pages += run.range.count;
                 }
             }
         }
@@ -492,14 +642,17 @@ impl MemorySystem {
         let pending = self.engine.cancel_pending(now);
         for batch in pending {
             let dest = batch.direction.dest();
-            for p in batch.range.iter() {
-                let Ok(pte) = self.table.get_mut(p) else { continue };
-                if pte.in_flight {
-                    pte.in_flight = false;
-                    self.used_pages[dest.index()] -= 1;
+            let runs: Vec<PteRun> = self.table.runs_in(batch.range).collect();
+            for run in runs {
+                if run.pte.in_flight {
+                    self.table.set_in_flight(run.range, false);
+                    self.used_pages[dest.index()] -= run.range.count;
                 }
             }
-            // Re-issue sub-ranges that do not overlap the range being unmapped.
+            // Re-issue sub-ranges that do not overlap the range being
+            // unmapped. Deliberately per page: each single-page batch pays
+            // its own setup cost in the engine, and collapsing them into
+            // wider batches would change migration timing.
             for p in batch.range.iter() {
                 if !range.contains(p) {
                     let sub = PageRange::new(p, 1);
@@ -517,13 +670,7 @@ impl MemorySystem {
     /// faults and is counted (paper Section III-A).
     pub fn start_profiling(&mut self) {
         self.profiler = Some(PageAccessProfiler::new());
-        for p in 0..self.table.reserved() {
-            if let Ok(pte) = self.table.get_mut(p) {
-                if matches!(pte.state, PageState::Mapped(_)) {
-                    pte.poisoned = true;
-                }
-            }
-        }
+        self.table.poison_all_mapped();
         if let Some(cache) = &mut self.cache {
             // The paper flushes the TLB; flushing the cache filter keeps the
             // first profiled access of each page visible to the counter.
@@ -534,11 +681,7 @@ impl MemorySystem {
     /// End the profiling phase, unpoisoning all pages and returning the
     /// collected per-page access counts.
     pub fn stop_profiling(&mut self) -> PageAccessMap {
-        for p in 0..self.table.reserved() {
-            if let Ok(pte) = self.table.get_mut(p) {
-                pte.poisoned = false;
-            }
-        }
+        self.table.unpoison_all();
         self.profiler.take().map(PageAccessProfiler::into_map).unwrap_or_default()
     }
 
@@ -587,6 +730,32 @@ impl MemorySystem {
         self.unmapped_accesses
     }
 
+    // ------------------------------------------------- state introspection
+
+    /// Borrow the page table, e.g. to compare two systems' mapping state.
+    #[must_use]
+    pub fn page_table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Borrow the cache filter, if enabled.
+    #[must_use]
+    pub fn cache_filter(&self) -> Option<&CacheFilter> {
+        self.cache.as_ref()
+    }
+
+    /// Borrow the Memory-Mode cache, if enabled.
+    #[must_use]
+    pub fn memory_mode(&self) -> Option<&MemoryModeCache> {
+        self.memmode.as_ref()
+    }
+
+    /// Borrow the active profiler, if a profiling phase is running.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&PageAccessProfiler> {
+        self.profiler.as_ref()
+    }
+
     /// Reset traffic counters (keeps mappings, modes and migrations).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
@@ -595,6 +764,27 @@ impl MemorySystem {
         if let Some(tl) = &mut self.timeline {
             *tl = StatsTimeline::new(tl.bucket_ns());
         }
+    }
+}
+
+/// Record traffic against the counters and timeline directly. Free function
+/// so the run loop in [`MemorySystem::access`] can call it while the page
+/// table is borrowed by the run iterator.
+fn record_traffic_into(
+    stats: &mut MemStats,
+    timeline: &mut Option<StatsTimeline>,
+    tier: Tier,
+    bytes: u64,
+    write: bool,
+    now: Ns,
+) {
+    if write {
+        stats.bytes_written[tier.index()] += bytes;
+    } else {
+        stats.bytes_read[tier.index()] += bytes;
+    }
+    if let Some(tl) = timeline {
+        tl.record(tier, bytes, now);
     }
 }
 
@@ -799,6 +989,63 @@ mod tests {
         let rep = m.access(r, 4096, AccessKind::Read, 0);
         assert_eq!(rep.bytes_slow, 4096);
         assert_eq!(m.unmapped_accesses(), 1);
+    }
+
+    #[test]
+    fn access_bytes_are_conserved_exactly() {
+        // Payloads that do not divide the page count must still be accounted
+        // byte-exactly: fast + slow + cache == requested, with the remainder
+        // spread over the leading pages instead of truncated or inflated.
+        let mut m = sys();
+        let r = m.reserve(7);
+        m.map(PageRange::new(0, 3), Tier::Fast, 0).unwrap();
+        m.map(PageRange::new(3, 4), Tier::Slow, 0).unwrap();
+        for bytes in [1u64, 3, 7, 100, 4096, 4099, 7 * 4096 + 5] {
+            let rep = m.access(r, bytes, AccessKind::Read, 0);
+            assert_eq!(
+                rep.bytes_fast + rep.bytes_slow + rep.bytes_cache,
+                bytes,
+                "bytes not conserved for payload {bytes}"
+            );
+        }
+        // Fewer bytes than pages: the tail pages carry zero payload.
+        let rep = m.access(r, 2, AccessKind::Write, 0);
+        assert_eq!(rep.bytes_fast + rep.bytes_slow + rep.bytes_cache, 2);
+        assert_eq!(rep.mm_accesses + rep.cache_hits, 7);
+    }
+
+    #[test]
+    fn batched_access_matches_per_page_reference() {
+        // Mixed layout: fast, slow, poisoned-slow and unmapped runs, driven
+        // through both pipelines; reports and every piece of observable
+        // state must agree. (The property suite covers random layouts.)
+        let build = || {
+            let mut m = MemorySystem::new(HmConfig::testing());
+            m.enable_timeline(1_000);
+            m.reserve(12);
+            m.map(PageRange::new(0, 4), Tier::Fast, 0).unwrap();
+            m.map(PageRange::new(4, 6), Tier::Slow, 0).unwrap();
+            m.start_profiling();
+            m
+        };
+        let mut a = build();
+        let mut b = build();
+        for (range, bytes, kind) in [
+            (PageRange::new(0, 12), 4096 * 12, AccessKind::Read),
+            (PageRange::new(2, 7), 12345, AccessKind::Write),
+            (PageRange::new(0, 5), 3, AccessKind::Read),
+            (PageRange::new(6, 6), 8191, AccessKind::Write),
+        ] {
+            let ra = a.access(range, bytes, kind, 500);
+            let rb = b.access_per_page(range, bytes, kind, 500);
+            assert_eq!(ra, rb, "report diverged for {range}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.timeline(), b.timeline());
+        assert_eq!(a.page_table(), b.page_table());
+        assert_eq!(a.cache_filter(), b.cache_filter());
+        assert_eq!(a.profiler(), b.profiler());
+        assert_eq!(a.unmapped_accesses(), b.unmapped_accesses());
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub struct Pte {
 }
 
 impl Pte {
-    const UNMAPPED: Pte = Pte { state: PageState::Unmapped, poisoned: false, in_flight: false };
+    /// The default entry: reserved but unmapped, clean, not migrating.
+    pub const UNMAPPED: Pte = Pte { state: PageState::Unmapped, poisoned: false, in_flight: false };
 }
 
 impl Default for Pte {
@@ -38,8 +39,70 @@ impl Default for Pte {
     }
 }
 
+/// A maximal run of consecutive pages sharing identical PTE contents.
+///
+/// Produced by [`PageTable::runs_in`]. Because Sentinel co-allocates tensors
+/// with the same lifetime/hotness onto contiguous pages, real tables decay
+/// into a handful of runs per tensor range — the access pipeline exploits
+/// that to do O(runs) work instead of O(pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteRun {
+    /// The pages of the run.
+    pub range: PageRange,
+    /// The PTE contents shared by every page in the run.
+    pub pte: Pte,
+}
+
+/// Iterator over the maximal equal-PTE runs of a range; see
+/// [`PageTable::runs_in`].
+#[derive(Debug, Clone)]
+pub struct PteRuns<'a> {
+    /// In-table entries of the queried range.
+    entries: &'a [Pte],
+    /// Page number of `entries[0]`.
+    base: u64,
+    /// Cursor into `entries`.
+    pos: usize,
+    /// Pages of the queried range past the end of the table; they behave
+    /// exactly like reserved-but-unmapped pages and are folded into a
+    /// trailing [`Pte::UNMAPPED`] run.
+    tail: u64,
+}
+
+impl Iterator for PteRuns<'_> {
+    type Item = PteRun;
+
+    fn next(&mut self) -> Option<PteRun> {
+        if self.pos < self.entries.len() {
+            let start = self.pos;
+            let pte = self.entries[start];
+            let mut end = start + 1;
+            while end < self.entries.len() && self.entries[end] == pte {
+                end += 1;
+            }
+            self.pos = end;
+            let mut count = (end - start) as u64;
+            // Merge the synthetic out-of-table tail into a final unmapped run.
+            if end == self.entries.len() && pte == Pte::UNMAPPED && self.tail > 0 {
+                count += self.tail;
+                self.tail = 0;
+            }
+            return Some(PteRun { range: PageRange::new(self.base + start as u64, count), pte });
+        }
+        if self.tail > 0 {
+            let run = PteRun {
+                range: PageRange::new(self.base + self.entries.len() as u64, self.tail),
+                pte: Pte::UNMAPPED,
+            };
+            self.tail = 0;
+            return Some(run);
+        }
+        None
+    }
+}
+
 /// A growable page table over the reserved virtual address space.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct PageTable {
     entries: Vec<Pte>,
 }
@@ -109,13 +172,85 @@ impl PageTable {
     }
 
     /// Iterate over `(page, pte)` for every mapped page in a range.
+    ///
+    /// Lazy: borrows the table directly instead of materialising the range
+    /// into an intermediate `Vec` — this is a hot query on large tensors.
     pub fn mapped_in(&self, range: PageRange) -> impl Iterator<Item = (u64, &Pte)> + '_ {
-        range
+        let (slice, base) = self.in_table(range);
+        slice
             .iter()
-            .filter_map(move |p| self.entries.get(p as usize).map(|e| (p, e)))
+            .enumerate()
             .filter(|(_, e)| matches!(e.state, PageState::Mapped(_)))
-            .collect::<Vec<_>>()
-            .into_iter()
+            .map(move |(i, e)| (base + i as u64, e))
+    }
+
+    /// Iterate over the maximal runs of consecutive pages with identical PTE
+    /// contents (`state`, `poisoned`, `in_flight`) inside `range`.
+    ///
+    /// Pages beyond the reserved table behave like unmapped pages, so they
+    /// are reported as (part of) a trailing [`Pte::UNMAPPED`] run rather than
+    /// being skipped — the iterator always covers `range.count` pages.
+    pub fn runs_in(&self, range: PageRange) -> PteRuns<'_> {
+        let (slice, base) = self.in_table(range);
+        PteRuns { entries: slice, base, pos: 0, tail: range.count - slice.len() as u64 }
+    }
+
+    /// The in-table entries of `range` plus the page number of the first one
+    /// (clamps to the reserved prefix; `base == range.first` always).
+    fn in_table(&self, range: PageRange) -> (&[Pte], u64) {
+        let start = (range.first as usize).min(self.entries.len());
+        let end = (range.end() as usize).min(self.entries.len()).max(start);
+        (&self.entries[start..end], range.first)
+    }
+
+    /// Set the mapping state of every page in `range` (bulk analogue of
+    /// writing `get_mut(p).state` per page). The range must be reserved.
+    pub fn set_state(&mut self, range: PageRange, state: PageState) {
+        debug_assert!(range.end() <= self.reserved(), "set_state out of range");
+        for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            pte.state = state;
+        }
+    }
+
+    /// Set the poison bit of every page in `range`. The range must be reserved.
+    pub fn set_poisoned(&mut self, range: PageRange, poisoned: bool) {
+        debug_assert!(range.end() <= self.reserved(), "set_poisoned out of range");
+        for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            pte.poisoned = poisoned;
+        }
+    }
+
+    /// Set the in-flight flag of every page in `range`. The range must be
+    /// reserved.
+    pub fn set_in_flight(&mut self, range: PageRange, in_flight: bool) {
+        debug_assert!(range.end() <= self.reserved(), "set_in_flight out of range");
+        for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            pte.in_flight = in_flight;
+        }
+    }
+
+    /// Whether any page of `range` has a migration in flight (out-of-table
+    /// pages never do).
+    #[must_use]
+    pub fn any_in_flight(&self, range: PageRange) -> bool {
+        let (slice, _) = self.in_table(range);
+        slice.iter().any(|e| e.in_flight)
+    }
+
+    /// Poison every mapped page in the whole table (profiling start).
+    pub fn poison_all_mapped(&mut self) {
+        for pte in &mut self.entries {
+            if matches!(pte.state, PageState::Mapped(_)) {
+                pte.poisoned = true;
+            }
+        }
+    }
+
+    /// Clear the poison bit of every page in the table (profiling stop).
+    pub fn unpoison_all(&mut self) {
+        for pte in &mut self.entries {
+            pte.poisoned = false;
+        }
     }
 
     /// Count mapped pages per tier across the whole table.
@@ -162,6 +297,91 @@ mod tests {
         assert!(matches!(t.get(0), Err(MemError::OutOfRange { .. })));
         assert!(t.check_range(PageRange::new(0, 1)).is_err());
         assert!(t.check_range(PageRange::empty()).is_ok());
+    }
+
+    #[test]
+    fn runs_partition_the_range() {
+        let mut t = PageTable::new();
+        let r = t.reserve(8);
+        t.set_state(PageRange::new(0, 3), PageState::Mapped(Tier::Fast));
+        t.set_state(PageRange::new(3, 2), PageState::Mapped(Tier::Slow));
+        t.set_poisoned(PageRange::new(4, 1), true);
+        let runs: Vec<_> = t.runs_in(r).collect();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].range, PageRange::new(0, 3));
+        assert_eq!(runs[0].pte.state, PageState::Mapped(Tier::Fast));
+        assert_eq!(runs[1].range, PageRange::new(3, 1));
+        assert_eq!(runs[2].range, PageRange::new(4, 1));
+        assert!(runs[2].pte.poisoned);
+        assert_eq!(runs[3].range, PageRange::new(5, 3));
+        assert_eq!(runs[3].pte, Pte::UNMAPPED);
+        // The runs always cover the whole queried range.
+        assert_eq!(runs.iter().map(|r| r.range.count).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn runs_cover_pages_beyond_the_table() {
+        let mut t = PageTable::new();
+        t.reserve(2);
+        t.set_state(PageRange::new(0, 2), PageState::Mapped(Tier::Fast));
+        // Query extends 3 pages past the reserved space.
+        let runs: Vec<_> = t.runs_in(PageRange::new(1, 4)).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].range, PageRange::new(1, 1));
+        assert_eq!(runs[1].range, PageRange::new(2, 3));
+        assert_eq!(runs[1].pte, Pte::UNMAPPED);
+        // A fully out-of-table query is one synthetic unmapped run.
+        let runs: Vec<_> = t.runs_in(PageRange::new(10, 5)).collect();
+        assert_eq!(runs, vec![PteRun { range: PageRange::new(10, 5), pte: Pte::UNMAPPED }]);
+    }
+
+    #[test]
+    fn trailing_unmapped_run_merges_with_tail() {
+        let mut t = PageTable::new();
+        t.reserve(4);
+        t.set_state(PageRange::new(0, 2), PageState::Mapped(Tier::Slow));
+        let runs: Vec<_> = t.runs_in(PageRange::new(0, 7)).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].range, PageRange::new(2, 5)); // 2 in-table + 3 beyond
+    }
+
+    #[test]
+    fn bulk_setters_match_per_page_writes() {
+        let mut a = PageTable::new();
+        let mut b = PageTable::new();
+        let r = a.reserve(6);
+        b.reserve(6);
+        a.set_state(PageRange::new(1, 4), PageState::Mapped(Tier::Fast));
+        a.set_poisoned(PageRange::new(2, 2), true);
+        a.set_in_flight(PageRange::new(3, 3), true);
+        for p in 1..5 {
+            b.get_mut(p).unwrap().state = PageState::Mapped(Tier::Fast);
+        }
+        for p in 2..4 {
+            b.get_mut(p).unwrap().poisoned = true;
+        }
+        for p in 3..6 {
+            b.get_mut(p).unwrap().in_flight = true;
+        }
+        for p in r.iter() {
+            assert_eq!(a.get(p).unwrap(), b.get(p).unwrap(), "page {p}");
+        }
+        assert!(a.any_in_flight(PageRange::new(3, 1)));
+        assert!(!a.any_in_flight(PageRange::new(0, 3)));
+        assert!(!a.any_in_flight(PageRange::new(20, 4)));
+    }
+
+    #[test]
+    fn poison_all_and_unpoison_all() {
+        let mut t = PageTable::new();
+        t.reserve(4);
+        t.set_state(PageRange::new(1, 2), PageState::Mapped(Tier::Slow));
+        t.poison_all_mapped();
+        assert!(!t.get(0).unwrap().poisoned);
+        assert!(t.get(1).unwrap().poisoned);
+        assert!(t.get(2).unwrap().poisoned);
+        t.unpoison_all();
+        assert!((0..4).all(|p| !t.get(p).unwrap().poisoned));
     }
 
     #[test]

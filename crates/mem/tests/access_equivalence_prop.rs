@@ -1,0 +1,242 @@
+//! Equivalence contract of the run-granular access fast path.
+//!
+//! `MemorySystem::access` resolves a range in O(runs) via the batched cache
+//! probe, bulk fault recording and Memory-Mode run access;
+//! `MemorySystem::access_per_page` is the kept per-page reference. These
+//! properties drive both over randomized layouts and access streams and
+//! require *identical* observable behaviour: every `AccessReport`, the
+//! aggregate stats, the traffic timeline, the page table, and the internal
+//! state of the cache filter, profiler and Memory-Mode cache.
+
+use sentinel_mem::{
+    AccessKind, CacheFilterSpec, HmConfig, MemoryModeSpec, MemorySystem, PageRange, Tier,
+};
+use sentinel_util::prop::check;
+use sentinel_util::{prop_assert_eq, Rng};
+
+/// One timed access of the stream.
+#[derive(Clone, Debug)]
+struct Access {
+    first: u64,
+    count: u64,
+    bytes: u64,
+    write: bool,
+}
+
+/// A randomized system layout plus an access stream.
+#[derive(Clone, Debug)]
+struct Scenario {
+    pages: u64,
+    cache: bool,
+    memmode: bool,
+    profiling: bool,
+    /// `(first, count, to_fast)` map attempts (failures are fine — they fail
+    /// identically on both systems).
+    maps: Vec<(u64, u64, bool)>,
+    /// `(first, count)` unmap attempts, punching unmapped holes.
+    unmaps: Vec<(u64, u64)>,
+    /// `(first, count, to_fast)` migrations left in flight during the stream.
+    migrations: Vec<(u64, u64, bool)>,
+    accesses: Vec<Access>,
+}
+
+/// Small tiers and a deliberately tiny cache filter (2 sets × 2 ways), so the
+/// batched paths' large-range bypasses trigger at just a few pages.
+fn config(with_cache: bool) -> HmConfig {
+    let mut cfg = HmConfig::testing()
+        .with_fast_capacity(256 * 4096)
+        .with_slow_capacity(4096 * 4096);
+    if with_cache {
+        cfg.cache = Some(CacheFilterSpec {
+            capacity_bytes: 4 * 4096,
+            ways: 2,
+            line_bytes: 4096,
+            hit_latency_ns: 1,
+            hit_bw_bytes_per_ns: 100.0,
+        });
+    }
+    cfg
+}
+
+fn build(s: &Scenario) -> MemorySystem {
+    let mut m = MemorySystem::new(config(s.cache));
+    m.enable_timeline(1_000);
+    if s.memmode {
+        // 8 single-way slots: the run path's per-set bypass kicks in at 16
+        // pages, well inside the generated range sizes.
+        m.enable_memory_mode(MemoryModeSpec::with_capacity_pages(8));
+    }
+    m.reserve(s.pages);
+    for &(first, count, fast) in &s.maps {
+        let tier = if fast { Tier::Fast } else { Tier::Slow };
+        let _ = m.map(PageRange::new(first, count), tier, 0);
+    }
+    for &(first, count) in &s.unmaps {
+        let _ = m.unmap(PageRange::new(first, count), 0);
+    }
+    for &(first, count, fast) in &s.migrations {
+        let tier = if fast { Tier::Fast } else { Tier::Slow };
+        let _ = m.migrate(PageRange::new(first, count), tier, 0);
+    }
+    if s.profiling {
+        m.start_profiling();
+    }
+    m
+}
+
+fn gen_scenario(rng: &mut Rng) -> Scenario {
+    let pages = rng.gen_range(1, 96);
+    let sub = |rng: &mut Rng| {
+        let first = rng.gen_range(0, pages);
+        let count = rng.gen_range(1, pages - first + 1);
+        (first, count)
+    };
+    let maps = (0..rng.gen_usize(0, 7))
+        .map(|_| {
+            let (first, count) = sub(rng);
+            (first, count, rng.gen_bool(0.4))
+        })
+        .collect();
+    let unmaps = (0..rng.gen_usize(0, 3)).map(|_| sub(rng)).collect();
+    let migrations = (0..rng.gen_usize(0, 3))
+        .map(|_| {
+            let (first, count) = sub(rng);
+            (first, count, rng.gen_bool(0.5))
+        })
+        .collect();
+    let accesses = (0..rng.gen_usize(1, 9))
+        .map(|_| {
+            let first = rng.gen_range(0, pages);
+            // Occasionally run past the table to exercise the synthetic
+            // unmapped tail.
+            let count = rng.gen_range(1, pages + 9 - first);
+            // From fewer bytes than pages up to several pages per page.
+            let bytes = rng.gen_range(0, 3 * 4096 * count);
+            Access { first, count, bytes, write: rng.gen_bool(0.5) }
+        })
+        .collect();
+    Scenario {
+        pages,
+        cache: rng.gen_bool(0.7),
+        memmode: rng.gen_bool(0.4),
+        profiling: rng.gen_bool(0.5),
+        maps,
+        unmaps,
+        migrations,
+        accesses,
+    }
+}
+
+/// Shrink by dropping setup ops and accesses, switching features off, and
+/// reducing individual access payloads/extents.
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for i in 0..s.accesses.len() {
+        if s.accesses.len() > 1 {
+            let mut t = s.clone();
+            t.accesses.remove(i);
+            out.push(t);
+        }
+    }
+    for i in 0..s.maps.len() {
+        let mut t = s.clone();
+        t.maps.remove(i);
+        out.push(t);
+    }
+    for i in 0..s.unmaps.len() {
+        let mut t = s.clone();
+        t.unmaps.remove(i);
+        out.push(t);
+    }
+    for i in 0..s.migrations.len() {
+        let mut t = s.clone();
+        t.migrations.remove(i);
+        out.push(t);
+    }
+    for toggle in [
+        |t: &mut Scenario| t.cache = false,
+        |t: &mut Scenario| t.memmode = false,
+        |t: &mut Scenario| t.profiling = false,
+    ] {
+        let mut t = s.clone();
+        toggle(&mut t);
+        if (t.cache, t.memmode, t.profiling) != (s.cache, s.memmode, s.profiling) {
+            out.push(t);
+        }
+    }
+    for i in 0..s.accesses.len() {
+        let a = &s.accesses[i];
+        if a.bytes > 0 {
+            for bytes in [0, a.bytes / 2] {
+                let mut t = s.clone();
+                t.accesses[i].bytes = bytes;
+                out.push(t);
+            }
+        }
+        if a.count > 1 {
+            let mut t = s.clone();
+            t.accesses[i].count = a.count / 2;
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[test]
+fn batched_access_is_equivalent_to_per_page() {
+    check(
+        "batched_access_is_equivalent_to_per_page",
+        gen_scenario,
+        shrink_scenario,
+        |s| {
+            let mut fast = build(s);
+            let mut reference = build(s);
+            let mut now = 0u64;
+            for (i, acc) in s.accesses.iter().enumerate() {
+                let range = PageRange::new(acc.first, acc.count);
+                let kind = if acc.write { AccessKind::Write } else { AccessKind::Read };
+                let ra = fast.access(range, acc.bytes, kind, now);
+                let rb = reference.access_per_page(range, acc.bytes, kind, now);
+                prop_assert_eq!(ra, rb, "report {i} diverged for {range}: {ra:?} vs {rb:?}");
+                now += 700; // stride across timeline buckets
+            }
+            prop_assert_eq!(fast.stats(), reference.stats());
+            prop_assert_eq!(fast.timeline(), reference.timeline());
+            prop_assert_eq!(fast.page_table(), reference.page_table());
+            prop_assert_eq!(fast.cache_filter(), reference.cache_filter());
+            prop_assert_eq!(fast.memory_mode(), reference.memory_mode());
+            prop_assert_eq!(fast.profiler(), reference.profiler());
+            prop_assert_eq!(fast.unmapped_accesses(), reference.unmapped_accesses());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn access_conserves_bytes_exactly() {
+    check(
+        "access_conserves_bytes_exactly",
+        gen_scenario,
+        shrink_scenario,
+        |s| {
+            let mut m = build(s);
+            for acc in &s.accesses {
+                let range = PageRange::new(acc.first, acc.count);
+                let kind = if acc.write { AccessKind::Write } else { AccessKind::Read };
+                let rep = m.access(range, acc.bytes, kind, 0);
+                // Every requested byte lands in exactly one of the three
+                // service classes — no truncation, no inflation.
+                prop_assert_eq!(
+                    rep.bytes_fast + rep.bytes_slow + rep.bytes_cache,
+                    acc.bytes,
+                    "bytes not conserved for {range} carrying {bytes}: {rep:?}",
+                    range = range,
+                    bytes = acc.bytes
+                );
+                // Every page is accounted exactly once.
+                prop_assert_eq!(rep.mm_accesses + rep.cache_hits, if acc.bytes == 0 { 0 } else { acc.count });
+            }
+            Ok(())
+        },
+    );
+}

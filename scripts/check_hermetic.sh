@@ -14,6 +14,12 @@ cargo test -q --offline
 echo "== parallel runner is deterministic (--jobs 1 vs --jobs 4) =="
 cargo test -q --offline --test parallel_determinism
 
+echo "== batched access path matches the per-page reference =="
+cargo test -q --offline -p sentinel-mem --test access_equivalence_prop
+
+echo "== access-path bench compiles and runs (smoke mode, no results write) =="
+SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_access_path
+
 echo "== dependency closure is sentinel-* only =="
 bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
 if [[ -n "$bad_lock" ]]; then
