@@ -5,10 +5,20 @@
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --fast  # quick pass
 //! cargo run -p sentinel-bench --release --bin run_experiments -- fig7    # one experiment
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --jobs 4  # 4 workers
+//! cargo run -p sentinel-bench --release --bin run_experiments -- --fail-fast  # abort on error
 //! ```
 //!
 //! Writes `results/<id>.json` per experiment and assembles
 //! `EXPERIMENTS_GENERATED.md` with every rendered table.
+//!
+//! By default the runner *keeps going* when one experiment fails: the error
+//! is logged, a `results/<id>.FAILED.json` stub records it, the remaining
+//! experiments still run, and the process exits nonzero. `--fail-fast`
+//! restores the abort-on-first-panic behaviour.
+//!
+//! Setting `SENTINEL_FAULT_SEED` (and optionally `SENTINEL_FAULT_PROFILE`)
+//! arms deterministic fault injection in every Sentinel run and adds the
+//! `chaos` experiment to the registry; see DESIGN.md "Fault model".
 //!
 //! Independent experiments run concurrently on `--jobs N` workers
 //! (`SENTINEL_JOBS` honored, host parallelism by default, `--jobs 1` for
@@ -24,6 +34,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let keep_going = !args.iter().any(|a| a == "--fail-fast");
     let jobs = match parse_jobs(&args) {
         Ok(jobs) => jobs,
         Err(message) => {
@@ -78,25 +89,63 @@ fn main() {
     // saved even if a later experiment dies. `run_all` returns results in
     // registry order regardless of completion order, keeping the assembled
     // markdown — and therefore every output byte — independent of `--jobs`.
-    let sections: Vec<ExpResult> = cfg.pool().run_all(
+    //
+    // Under `--keep-going` (the default) a panicking experiment is caught
+    // here: the panic is logged, a `results/<id>.FAILED.json` stub records
+    // it, and the run continues. Under `--fail-fast` the panic propagates
+    // through the pool and aborts the whole run, as before.
+    let outcomes: Vec<Option<ExpResult>> = cfg.pool().run_all(
         registry
             .into_iter()
-            .map(|(_, generator)| {
+            .map(|(id, generator)| {
                 move || {
-                    let result = generator(&cfg);
-                    let json = sentinel_util::ToJson::to_json(&result).to_pretty_string();
-                    fs::write(format!("results/{}.json", result.id), json).expect("write json");
-                    println!(
-                        "  [{}] {} ({:.1}s elapsed)",
-                        result.id,
-                        result.title,
-                        started.elapsed().as_secs_f64()
-                    );
-                    result
+                    let run = || {
+                        let result = generator(&cfg);
+                        let json = sentinel_util::ToJson::to_json(&result).to_pretty_string();
+                        fs::write(format!("results/{}.json", result.id), json)
+                            .expect("write json");
+                        println!(
+                            "  [{}] {} ({:.1}s elapsed)",
+                            result.id,
+                            result.title,
+                            started.elapsed().as_secs_f64()
+                        );
+                        result
+                    };
+                    if !keep_going {
+                        return Some(run());
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                        Ok(result) => Some(result),
+                        Err(payload) => {
+                            // `&payload` would unsize the Box itself to
+                            // `&dyn Any` (Box<dyn Any + Send> implements Any)
+                            // and every downcast would miss; deref first.
+                            let message = panic_message(&*payload);
+                            eprintln!("  [{id}] FAILED: {message}");
+                            let stub = sentinel_util::Json::Obj(vec![
+                                ("id".to_owned(), sentinel_util::Json::Str(id.to_owned())),
+                                ("failed".to_owned(), sentinel_util::Json::Bool(true)),
+                                ("error".to_owned(), sentinel_util::Json::Str(message)),
+                            ])
+                            .to_pretty_string();
+                            let _ = fs::write(format!("results/{id}.FAILED.json"), stub);
+                            None
+                        }
+                    }
                 }
             })
             .collect(),
     );
+    let failures = outcomes.iter().filter(|o| o.is_none()).count();
+    let sections: Vec<ExpResult> = outcomes.into_iter().flatten().collect();
+    if failures > 0 {
+        eprintln!(
+            "{failures} experiment(s) failed; see results/*.FAILED.json. \
+             EXPERIMENTS_GENERATED.md left as-is."
+        );
+        std::process::exit(1);
+    }
 
     if filter.is_empty() {
         let mut md = String::from(
@@ -117,6 +166,17 @@ fn main() {
             sections.len(),
             started.elapsed().as_secs_f64()
         );
+    }
+}
+
+/// Best-effort human-readable message out of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "experiment panicked".to_owned()
     }
 }
 

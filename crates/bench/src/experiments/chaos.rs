@@ -1,0 +1,97 @@
+//! Chaos experiment: Sentinel under seeded fault injection.
+//!
+//! Only registered when `SENTINEL_FAULT_SEED` is set, so pristine
+//! regenerations of `results/` are unaffected. Runs the small CPU models
+//! under the `light` and `heavy` fault profiles and reports the injected
+//! fault activity next to the steady-state step time — the measured cost of
+//! the paper's "serve it from slow memory" degradation path.
+
+use crate::harness::{ExpConfig, ExpResult};
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel_mem::HmConfig;
+use sentinel_models::ModelZoo;
+use sentinel_util::fault::{derive_seed, fault_env, FaultProfile};
+
+#[derive(Debug, Clone)]
+struct ChaosRow {
+    model: String,
+    profile: String,
+    steady_step_ns: u64,
+    degraded_slow_accesses: u64,
+    injected_stalls: u64,
+    injected_failures: u64,
+    migration_retries: u64,
+    abandoned_migrations: u64,
+    abandoned_pages: u64,
+    spurious_faults: u64,
+    lost_faults: u64,
+}
+
+sentinel_util::impl_to_json!(ChaosRow {
+    model,
+    profile,
+    steady_step_ns,
+    degraded_slow_accesses,
+    injected_stalls,
+    injected_failures,
+    migration_retries,
+    abandoned_migrations,
+    abandoned_pages,
+    spurious_faults,
+    lost_faults
+});
+
+/// Chaos sweep: every small-batch model under `light` and `heavy` faults.
+pub fn chaos(cfg: &ExpConfig) -> ExpResult {
+    let seed = fault_env()
+        .expect("valid fault environment")
+        .map(|(_, seed)| seed)
+        .expect("chaos experiment requires SENTINEL_FAULT_SEED");
+    let profiles = [("light", FaultProfile::light()), ("heavy", FaultProfile::heavy())];
+    let mut rows = Vec::new();
+    for spec in cfg.small_batch_models() {
+        let graph = ModelZoo::build(&spec).expect("model builds");
+        let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+        for (name, profile) in &profiles {
+            let key = format!("chaos|{spec:?}|{name}");
+            let outcome = SentinelRuntime::new(SentinelConfig::default(), hm.clone())
+                .with_fault_injection(*profile, derive_seed(seed, &key))
+                .train(&graph, cfg.steps())
+                .expect("chaos run completes");
+            let c = outcome.fault_counters;
+            rows.push(ChaosRow {
+                model: spec.name(),
+                profile: (*name).to_owned(),
+                steady_step_ns: outcome.report.steady_step_ns(),
+                degraded_slow_accesses: c.degraded_slow_accesses,
+                injected_stalls: c.injected_stalls,
+                injected_failures: c.injected_failures,
+                migration_retries: c.migration_retries,
+                abandoned_migrations: c.abandoned_migrations,
+                abandoned_pages: c.abandoned_pages,
+                spurious_faults: c.spurious_faults,
+                lost_faults: c.lost_faults,
+            });
+        }
+    }
+    let mut md = String::from(
+        "| model | profile | steady step (ns) | degraded | stalls | failures | retries | abandoned (batches/pages) | spurious | lost |\n|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {}/{} | {} | {} |\n",
+            r.model,
+            r.profile,
+            r.steady_step_ns,
+            r.degraded_slow_accesses,
+            r.injected_stalls,
+            r.injected_failures,
+            r.migration_retries,
+            r.abandoned_migrations,
+            r.abandoned_pages,
+            r.spurious_faults,
+            r.lost_faults,
+        ));
+    }
+    ExpResult::new("chaos", "Chaos: Sentinel under injected faults", md, &rows)
+}

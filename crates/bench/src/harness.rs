@@ -1,10 +1,11 @@
 //! Shared experiment infrastructure: configurations, runners, result types.
 
 use sentinel_baselines::{run_baseline, Baseline};
-use sentinel_core::{fast_sized_for, SentinelConfig, SentinelOutcome, SentinelRuntime};
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelError, SentinelOutcome, SentinelRuntime};
 use sentinel_dnn::{ExecError, TrainReport};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_util::fault::{derive_seed, fault_env};
 use sentinel_util::{Json, Pool, ToJson};
 
 /// Global experiment configuration.
@@ -160,15 +161,32 @@ impl ExpResult {
     }
 }
 
+/// Arm `runtime` with the environment's fault profile, if one is configured
+/// (`SENTINEL_FAULT_PROFILE` / `SENTINEL_FAULT_SEED`). Each run's injector
+/// seed is derived from the base seed and a stable per-run `key`, so a sweep
+/// stays byte-identical at any `--jobs` count: the schedule depends only on
+/// what runs, never on when or where it runs. A malformed profile spec is a
+/// hard error — silently running faultless would invalidate the experiment.
+fn armed(runtime: SentinelRuntime, key: &str) -> SentinelRuntime {
+    match fault_env() {
+        Ok(Some((profile, seed))) => {
+            runtime.with_fault_injection(profile, derive_seed(seed, key))
+        }
+        Ok(None) => runtime,
+        Err(e) => panic!("invalid fault-injection environment: {e}"),
+    }
+}
+
 /// Run Sentinel (CPU flavour) at the given fast fraction.
 pub fn run_sentinel(
     spec: &ModelSpec,
     fraction: f64,
     steps: usize,
-) -> Result<SentinelOutcome, ExecError> {
+) -> Result<SentinelOutcome, SentinelError> {
     let graph = ModelZoo::build(spec).expect("model builds");
     let hm = fast_sized_for(HmConfig::optane_like(), &graph, fraction);
-    SentinelRuntime::new(SentinelConfig::default(), hm).train(&graph, steps)
+    let key = format!("cpu|{spec:?}|{fraction}|{steps}");
+    armed(SentinelRuntime::new(SentinelConfig::default(), hm), &key).train(&graph, steps)
 }
 
 /// Run Sentinel with an explicit configuration and platform.
@@ -178,10 +196,11 @@ pub fn run_sentinel_with(
     hm: HmConfig,
     fraction: f64,
     steps: usize,
-) -> Result<SentinelOutcome, ExecError> {
+) -> Result<SentinelOutcome, SentinelError> {
     let graph = ModelZoo::build(spec).expect("model builds");
     let hm = fast_sized_for(hm, &graph, fraction);
-    SentinelRuntime::new(cfg, hm).train(&graph, steps)
+    let key = format!("with|{spec:?}|{cfg:?}|{fraction}|{steps}");
+    armed(SentinelRuntime::new(cfg, hm), &key).train(&graph, steps)
 }
 
 /// Run a baseline at the given fast fraction on the Optane platform.

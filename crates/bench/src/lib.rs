@@ -19,6 +19,7 @@
 pub mod experiments {
     //! Table and figure generators.
     pub mod ablations;
+    pub mod chaos;
     pub mod characterization;
     pub mod figures_cpu;
     pub mod figures_gpu;
@@ -30,10 +31,15 @@ pub use harness::{ExpConfig, ExpResult};
 
 /// Every experiment in presentation order, as `(id, generator)` pairs so
 /// callers can filter before paying for a run.
+///
+/// The `chaos` experiment joins the registry only when `SENTINEL_FAULT_SEED`
+/// is set, so pristine regenerations of `results/` and
+/// `EXPERIMENTS_GENERATED.md` are byte-identical with or without the
+/// fault-injection subsystem compiled in.
 #[must_use]
 pub fn experiment_registry() -> Vec<(&'static str, fn(&ExpConfig) -> ExpResult)> {
     use experiments::*;
-    vec![
+    let mut registry: Vec<(&'static str, fn(&ExpConfig) -> ExpResult)> = vec![
         ("table1", tables::table1),
         ("table2", tables::table2),
         ("fig1", characterization::fig1_anatomy),
@@ -50,7 +56,11 @@ pub fn experiment_registry() -> Vec<(&'static str, fn(&ExpConfig) -> ExpResult)>
         ("fig12", figures_gpu::fig12),
         ("fig13", figures_gpu::fig13),
         ("ablations", ablations::ablations),
-    ]
+    ];
+    if std::env::var("SENTINEL_FAULT_SEED").is_ok() {
+        registry.push(("chaos", chaos::chaos));
+    }
+    registry
 }
 
 /// Run every experiment in presentation order.

@@ -152,7 +152,7 @@ impl DynamicRuntime {
                 *slot = Some((exec, policy));
                 outcome.profiling_steps += 1;
             }
-            let (exec, policy) = slot.as_mut().expect("just initialized");
+            let Some((exec, policy)) = slot.as_mut() else { continue };
             let report = exec.run_step(policy)?;
             outcome.steps_per_bucket[b] += 1;
             outcome.mil_per_bucket[b] = Some(policy.stats().mil);

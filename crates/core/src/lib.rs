@@ -23,6 +23,7 @@
 
 mod config;
 mod dynamic;
+mod error;
 mod interval;
 mod policy;
 mod reorg;
@@ -31,6 +32,7 @@ mod schedule;
 
 pub use config::{Ablation, Case3Policy, SentinelConfig};
 pub use dynamic::{DataflowTracker, DynamicOutcome, DynamicRuntime, MAX_BUCKETS};
+pub use error::SentinelError;
 pub use interval::{solve_mil, IntervalPlan, MilCandidate, MilSolution};
 pub use policy::{SentinelPolicy, SentinelStats};
 pub use reorg::{HotClass, ReorgPlan};

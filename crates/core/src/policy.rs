@@ -12,7 +12,7 @@ use crate::interval::{solve_mil, IntervalPlan, MilSolution};
 use crate::reorg::ReorgPlan;
 use crate::schedule::Schedule;
 use sentinel_dnn::{ExecCtx, MemoryManager, PoolSpec, Tensor, TensorId};
-use sentinel_mem::{pages_for_bytes, Ns, PageRange, Tier};
+use sentinel_mem::{pages_for_bytes, Ns, PageRange, SanitizerMode, Tier};
 use sentinel_profiler::{ProfileReport, TensorProfile};
 use std::collections::HashMap;
 
@@ -101,6 +101,14 @@ pub struct SentinelPolicy {
     mil_solution: Option<MilSolution>,
     reserve_pages: u64,
     live_short_bytes: u64,
+    /// Per-tensor flag: a short-lived tensor allocated entirely in fast
+    /// memory, which the policy promises never to migrate (paper: the
+    /// short-lived reserve region is static). Checked at free.
+    short_fast: Vec<bool>,
+    /// First policy-level invariant violation (latched, like the memory
+    /// sanitizer's): a short-lived reserve-region tensor found partly in
+    /// slow memory when freed.
+    violation: Option<String>,
     // Case bookkeeping.
     case3_states: HashMap<usize, Case3State>,
     /// Active interval measurement: (interval, start time, trial choice).
@@ -128,6 +136,8 @@ impl SentinelPolicy {
             mil_solution: None,
             reserve_pages: 0,
             live_short_bytes: 0,
+            short_fast: Vec::new(),
+            violation: None,
             case3_states: HashMap::new(),
             interval_mark: None,
             trial_step_flag: false,
@@ -152,6 +162,13 @@ impl SentinelPolicy {
     #[must_use]
     pub fn mil_solution(&self) -> Option<&MilSolution> {
         self.mil_solution.as_ref()
+    }
+
+    /// The first policy-level invariant violation found, if any (a
+    /// short-lived reserve-region tensor that was migrated to slow memory).
+    #[must_use]
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
     }
 
     // ------------------------------------------------------------- helpers
@@ -433,6 +450,7 @@ impl MemoryManager for SentinelPolicy {
 
     fn on_train_begin(&mut self, ctx: &mut ExecCtx<'_>) {
         self.prof_pages = vec![None; ctx.graph().num_tensors()];
+        self.short_fast = vec![false; ctx.graph().num_tensors()];
     }
 
     fn on_step_begin(&mut self, ctx: &mut ExecCtx<'_>) {
@@ -449,7 +467,13 @@ impl MemoryManager for SentinelPolicy {
             Phase::Profiling => PoolSpec::page_aligned(u64::from(tensor.id.0) + 1),
             Phase::Managed => {
                 if self.cfg.coallocate {
-                    self.reorg.as_ref().expect("managed phase has a plan").pool_for(tensor)
+                    match self.reorg.as_ref() {
+                        Some(reorg) => reorg.pool_for(tensor),
+                        // Unreachable in a healthy run (the managed phase is
+                        // entered by finish_profiling, which builds the plan);
+                        // degrade to packed pooling instead of aborting.
+                        None => PoolSpec::default_packed(),
+                    }
                 } else {
                     PoolSpec::default_packed()
                 }
@@ -480,6 +504,17 @@ impl MemoryManager for SentinelPolicy {
             self.prof_pages[tensor.index()] = ctx.placement(tensor).map(|a| a.pages);
         } else if t.is_short_lived() {
             self.live_short_bytes += t.bytes;
+            // Sanitizer bookkeeping: a short-lived tensor that starts fully
+            // fast-resident must still be fully fast-resident when freed
+            // (the reserve region is never migrated). Only checked while the
+            // memory-level sanitizer is on, so release runs pay nothing.
+            if ctx.mem().sanitizer_mode() != SanitizerMode::Off
+                && ctx.tensor_bytes_in(tensor, Tier::Slow) == 0
+            {
+                if let Some(flag) = self.short_fast.get_mut(tensor.index()) {
+                    *flag = true;
+                }
+            }
         }
     }
 
@@ -488,6 +523,15 @@ impl MemoryManager for SentinelPolicy {
             let t = ctx.tensor(tensor);
             if t.is_short_lived() {
                 self.live_short_bytes = self.live_short_bytes.saturating_sub(t.bytes);
+                if self.short_fast.get(tensor.index()).copied().unwrap_or(false) {
+                    self.short_fast[tensor.index()] = false;
+                    let slow = ctx.tensor_bytes_in(tensor, Tier::Slow);
+                    if slow > 0 && self.violation.is_none() {
+                        self.violation = Some(format!(
+                            "short-lived tensor {tensor} had {slow} bytes in slow memory at free"
+                        ));
+                    }
+                }
             }
         }
     }

@@ -1,10 +1,11 @@
 //! High-level runtime wrapper: profile, reorganize, train.
 
 use crate::config::SentinelConfig;
+use crate::error::SentinelError;
 use crate::interval::MilSolution;
 use crate::policy::{SentinelPolicy, SentinelStats};
-use sentinel_dnn::{ExecError, Executor, Graph, TrainReport};
-use sentinel_mem::{HmConfig, MemorySystem};
+use sentinel_dnn::{Executor, Graph, TrainReport};
+use sentinel_mem::{FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode};
 use sentinel_profiler::ProfileReport;
 
 /// Size the fast tier of `cfg` to `fraction` of the model's peak memory
@@ -30,6 +31,9 @@ pub struct SentinelOutcome {
     pub profile: Option<ProfileReport>,
     /// Interval-solver diagnostics.
     pub mil_solution: Option<MilSolution>,
+    /// Fault-injection activity over the whole run (all zero on pristine
+    /// runs; see [`SentinelRuntime::with_fault_injection`]).
+    pub fault_counters: FaultCounters,
 }
 
 /// Convenience wrapper running the full Sentinel pipeline.
@@ -53,13 +57,32 @@ pub struct SentinelOutcome {
 pub struct SentinelRuntime {
     cfg: SentinelConfig,
     hm: HmConfig,
+    fault: Option<(FaultProfile, u64)>,
+    sanitizer: Option<SanitizerMode>,
 }
 
 impl SentinelRuntime {
     /// Build a runtime for the given Sentinel configuration and platform.
     #[must_use]
     pub fn new(cfg: SentinelConfig, hm: HmConfig) -> Self {
-        SentinelRuntime { cfg, hm }
+        SentinelRuntime { cfg, hm, fault: None, sanitizer: None }
+    }
+
+    /// Install a deterministic fault injector for every run: the memory
+    /// system draws its fault schedule from `profile` seeded with `seed`.
+    /// A profile with all rates at zero is byte-identical to no injector.
+    #[must_use]
+    pub fn with_fault_injection(mut self, profile: FaultProfile, seed: u64) -> Self {
+        self.fault = Some((profile, seed));
+        self
+    }
+
+    /// Override the residency sanitizer mode for every run (the default is
+    /// the build-dependent [`SanitizerMode::default_mode`]).
+    #[must_use]
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = Some(mode);
+        self
     }
 
     /// The platform configuration.
@@ -73,17 +96,29 @@ impl SentinelRuntime {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from execution (e.g. out of memory).
-    pub fn train(&self, graph: &Graph, steps: usize) -> Result<SentinelOutcome, ExecError> {
-        let mem = MemorySystem::new(self.hm.clone());
+    /// [`SentinelError::Exec`] for execution failures (e.g. out of memory,
+    /// or a memory-level sanitizer violation); [`SentinelError::Invariant`]
+    /// if the policy's own residency invariants were broken.
+    pub fn train(&self, graph: &Graph, steps: usize) -> Result<SentinelOutcome, SentinelError> {
+        let mut mem = MemorySystem::new(self.hm.clone());
+        if let Some((profile, seed)) = &self.fault {
+            mem.set_fault_injector(FaultInjector::new(*profile, *seed));
+        }
+        if let Some(mode) = self.sanitizer {
+            mem.set_sanitizer_mode(mode);
+        }
         let mut exec = Executor::new(graph, mem);
         let mut policy = SentinelPolicy::new(self.cfg.clone());
         let report = exec.run(&mut policy, steps)?;
+        if let Some(detail) = policy.violation() {
+            return Err(SentinelError::Invariant { detail: detail.to_string() });
+        }
         Ok(SentinelOutcome {
             steps_executed: report.steps_executed(),
             stats: policy.stats(),
             mil_solution: policy.mil_solution().cloned(),
             profile: policy.profile().cloned(),
+            fault_counters: exec.ctx().mem().fault_counters(),
             report,
         })
     }

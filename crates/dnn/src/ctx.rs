@@ -119,10 +119,13 @@ impl<'g> ExecCtx<'g> {
     ///
     /// # Errors
     ///
+    /// [`ExecError::AlreadyAllocated`] if `t` is already live;
     /// [`ExecError::Mem`] with [`MemError::CapacityExceeded`] if `tier`
     /// cannot hold the new pages (the allocator state is rolled back).
     pub fn allocate_with(&mut self, t: TensorId, spec: PoolSpec, tier: Tier) -> Result<(), ExecError> {
-        assert!(!self.is_live(t), "tensor {t} already allocated");
+        if self.is_live(t) {
+            return Err(ExecError::AlreadyAllocated { tensor: t });
+        }
         let bytes = self.graph.tensor(t).bytes;
         let allocation = self.alloc.alloc(&mut self.mem, spec, bytes);
         let new_pages: u64 = allocation.new_pages.iter().map(|r| r.count).sum();

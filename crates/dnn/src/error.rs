@@ -74,6 +74,11 @@ pub enum ExecError {
         /// The offending tensor.
         tensor: TensorId,
     },
+    /// An allocation was requested for a tensor that is already live.
+    AlreadyAllocated {
+        /// The offending tensor.
+        tensor: TensorId,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -85,6 +90,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::NotAllocated { tensor } => {
                 write!(f, "tensor {tensor} has no live allocation")
+            }
+            ExecError::AlreadyAllocated { tensor } => {
+                write!(f, "tensor {tensor} is already allocated")
             }
         }
     }

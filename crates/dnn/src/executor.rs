@@ -115,13 +115,16 @@ impl<'g> Executor<'g> {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from allocation or policy actions.
+    /// Propagates [`ExecError`] from allocation or policy actions, and
+    /// surfaces any residency-sanitizer violation latched during the step
+    /// as [`ExecError::Mem`] with [`sentinel_mem::MemError::InvariantViolation`].
     pub fn run_step(&mut self, policy: &mut dyn MemoryManager) -> Result<StepReport, ExecError> {
         self.train_begin(policy)?;
         let step = self.steps_run;
         self.ctx.begin_step(step);
         let start_ns = self.ctx.now();
         let stats_before = self.ctx.mem().stats().clone();
+        let faults_before = self.ctx.mem().fault_counters();
 
         policy.on_step_begin(&mut self.ctx);
         let num_layers = self.ctx.graph().num_layers();
@@ -136,6 +139,9 @@ impl<'g> Executor<'g> {
         }
         policy.on_step_end(&mut self.ctx);
         self.ctx.poll();
+        if let Some(violation) = self.ctx.mem().sanitizer_violation() {
+            return Err(ExecError::Mem(violation.clone()));
+        }
 
         self.steps_run += 1;
         let stats_after = self.ctx.mem().stats().clone();
@@ -154,6 +160,7 @@ impl<'g> Executor<'g> {
             peak_fast_pages: stats_after.peak_mapped_pages[Tier::Fast.index()],
             peak_total_pages: stats_after.peak_mapped_pages[Tier::Fast.index()]
                 + stats_after.peak_mapped_pages[Tier::Slow.index()],
+            fault: self.ctx.mem().fault_counters().delta(&faults_before),
         })
     }
 

@@ -1,6 +1,7 @@
 //! Step and training reports.
 
-use sentinel_mem::Ns;
+use sentinel_mem::{FaultCounters, Ns};
+use sentinel_util::{Json, ToJson};
 
 /// Where the time of one training step went.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +49,8 @@ pub struct StepReport {
     pub peak_fast_pages: u64,
     /// Peak mapped pages (both tiers) observed so far.
     pub peak_total_pages: u64,
+    /// Fault-injection activity during the step (all zero on pristine runs).
+    pub fault: FaultCounters,
 }
 
 impl StepReport {
@@ -197,6 +200,16 @@ mod tests {
         let s = StepReport { promoted_bytes: 10, demoted_bytes: 5, ..StepReport::default() };
         assert_eq!(s.migrated_bytes(), 15);
     }
+
+    #[test]
+    fn fault_counters_serialize_only_when_active() {
+        let pristine = StepReport::default().to_json();
+        assert!(pristine.get("fault").is_none());
+        let mut s = StepReport::default();
+        s.fault.migration_retries = 2;
+        let j = s.to_json();
+        assert_eq!(j.get("fault").and_then(|f| f.get("migration_retries")), Some(&Json::U64(2)));
+    }
 }
 
 sentinel_util::impl_to_json!(StepBreakdown {
@@ -207,17 +220,29 @@ sentinel_util::impl_to_json!(StepBreakdown {
     profiling_fault_ns,
 });
 
-sentinel_util::impl_to_json!(StepReport {
-    step,
-    duration_ns,
-    breakdown,
-    promoted_bytes,
-    demoted_bytes,
-    fast_accesses,
-    slow_accesses,
-    faults,
-    peak_fast_pages,
-    peak_total_pages,
-});
+// Hand-written (not `impl_to_json!`) so pristine runs keep the exact
+// historical serialization: the `fault` member is emitted only when any
+// counter is nonzero, leaving fault-free `results/*.json` byte-identical
+// to builds that predate fault injection.
+impl ToJson for StepReport {
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(&str, Json)> = vec![
+            ("step", self.step.to_json()),
+            ("duration_ns", self.duration_ns.to_json()),
+            ("breakdown", self.breakdown.to_json()),
+            ("promoted_bytes", self.promoted_bytes.to_json()),
+            ("demoted_bytes", self.demoted_bytes.to_json()),
+            ("fast_accesses", self.fast_accesses.to_json()),
+            ("slow_accesses", self.slow_accesses.to_json()),
+            ("faults", self.faults.to_json()),
+            ("peak_fast_pages", self.peak_fast_pages.to_json()),
+            ("peak_total_pages", self.peak_total_pages.to_json()),
+        ];
+        if !self.fault.is_zero() {
+            members.push(("fault", self.fault.to_json()));
+        }
+        Json::obj(members)
+    }
+}
 
 sentinel_util::impl_to_json!(TrainReport { model, policy, batch, steps });

@@ -39,6 +39,12 @@ pub enum MemError {
         /// The offending page number.
         page: u64,
     },
+    /// The residency sanitizer found the page table, the in-flight set and
+    /// the per-tier accounting in disagreement.
+    InvariantViolation {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -55,6 +61,9 @@ impl fmt::Display for MemError {
             }
             MemError::MigrationInFlight { page } => {
                 write!(f, "page {page} already has a migration in flight")
+            }
+            MemError::InvariantViolation { detail } => {
+                write!(f, "residency invariant violated: {detail}")
             }
         }
     }

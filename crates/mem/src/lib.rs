@@ -69,7 +69,10 @@ pub use migrate::{Direction, InFlight, MigrationEngine, MigrationTicket};
 pub use page::{pages_for_bytes, PageRange, PAGE_SIZE_DEFAULT};
 pub use profiler::{PageAccessMap, PageAccessProfiler};
 pub use stats::{BandwidthSample, MemStats, StatsTimeline};
-pub use system::{AccessKind, AccessReport, MemorySystem};
+pub use system::{AccessKind, AccessReport, MemorySystem, RetryPolicy, SanitizerMode};
+// Re-exported so the fault hooks' types are nameable without a direct
+// sentinel-util dependency.
+pub use sentinel_util::fault::{FaultCounters, FaultInjector, FaultProfile};
 pub use table::{PageState, PageTable, Pte, PteRun, PteRuns};
 pub use tier::Tier;
 

@@ -76,6 +76,11 @@ pub struct InFlight {
     pub direction: Direction,
     /// Completion time.
     pub ready_at: Ns,
+    /// Retry attempt number (0 for the first issue of a batch).
+    pub attempt: u32,
+    /// Whether an injected fault made this copy fail: at `ready_at` the
+    /// pages have *not* moved and the owner must retry or abandon.
+    pub failed: bool,
 }
 
 /// Two independent directional migration channels with bandwidth accounting.
@@ -127,18 +132,36 @@ impl MigrationEngine {
     }
 
     fn enqueue_with_priority(&mut self, range: PageRange, direction: Direction, now: Ns, urgent: bool) -> MigrationTicket {
+        self.enqueue_perturbed(range, direction, now, urgent, 0, false, 0)
+    }
+
+    /// Issue a batch carrying an injected perturbation: `extra_ns` of stall
+    /// added to the copy time, a `failed` verdict discovered at `ready_at`,
+    /// and the retry `attempt` number. The channel reservation includes the
+    /// stall, so contention with later batches is modeled honestly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_perturbed(
+        &mut self,
+        range: PageRange,
+        direction: Direction,
+        now: Ns,
+        urgent: bool,
+        extra_ns: Ns,
+        failed: bool,
+        attempt: u32,
+    ) -> MigrationTicket {
         let bytes = range.bytes(self.page_size);
         let dir = direction.index();
         let lane = if urgent { &mut self.urgent_busy_until[dir] } else { &mut self.busy_until[dir] };
         let start = now.max(*lane);
-        let duration = self.setup_ns + (bytes as f64 / self.bw[dir]).ceil() as Ns;
+        let duration = self.setup_ns + extra_ns + (bytes as f64 / self.bw[dir]).ceil() as Ns;
         let ready_at = start + duration;
         *lane = ready_at;
         self.moved_bytes[dir] += bytes;
         self.batches[dir] += 1;
         let id = self.next_id;
         self.next_id += 1;
-        self.in_flight.push(InFlight { id, range, direction, ready_at });
+        self.in_flight.push(InFlight { id, range, direction, ready_at, attempt, failed });
         MigrationTicket { id, ready_at, pages: range.count, bytes }
     }
 
@@ -291,6 +314,28 @@ mod tests {
         let a = e.enqueue(PageRange::new(0, 10), Direction::Promote, 0);
         let b = e.enqueue(PageRange::new(10, 1), Direction::Demote, 0);
         assert_eq!(e.quiescent_at(), a.ready_at.max(b.ready_at));
+    }
+
+    #[test]
+    fn perturbed_batch_carries_stall_and_verdict() {
+        let mut e = engine();
+        let t = e.enqueue_perturbed(PageRange::new(0, 1), Direction::Promote, 0, false, 500, true, 2);
+        assert_eq!(t.ready_at, 100 + 500 + 4096);
+        let f = &e.in_flight()[0];
+        assert!(f.failed);
+        assert_eq!(f.attempt, 2);
+        // The stall occupies the channel: later batches queue behind it.
+        let b = e.enqueue(PageRange::new(1, 1), Direction::Promote, 0);
+        assert_eq!(b.ready_at, t.ready_at + 100 + 4096);
+    }
+
+    #[test]
+    fn plain_enqueue_is_unperturbed() {
+        let mut e = engine();
+        e.enqueue(PageRange::new(0, 1), Direction::Promote, 0);
+        let f = &e.in_flight()[0];
+        assert!(!f.failed);
+        assert_eq!(f.attempt, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::profiler::{PageAccessMap, PageAccessProfiler};
 use crate::stats::{MemStats, StatsTimeline};
 use crate::table::{PageState, PageTable, PteRun};
 use crate::{MemError, Ns, PageRange, Tier};
+use sentinel_util::fault::{FaultCounters, FaultInjector};
 
 /// Whether an access reads or writes memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,57 @@ pub struct AccessReport {
     pub bytes_cache: u64,
 }
 
+/// How failed migration batches are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per batch (the first issue included); after the last
+    /// failed attempt the migration is abandoned and its pages stay in the
+    /// source tier. A value of 0 behaves like 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles with each further attempt.
+    pub backoff_ns: Ns,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_ns: 50_000 }
+    }
+}
+
+/// When the residency sanitizer revalidates the page-table invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizerMode {
+    /// Never check.
+    Off,
+    /// Check at mutation events (map/unmap/migrate/completion/cancel),
+    /// sampled every few events to bound the O(reserved pages) scan cost;
+    /// rare events (cancellation, abandoned migrations, profiling toggles)
+    /// are always checked.
+    Events,
+}
+
+impl SanitizerMode {
+    /// The build default: [`SanitizerMode::Events`] under
+    /// `debug_assertions`, [`SanitizerMode::Off`] in release builds (the
+    /// "always-on in dev, free in production" cfg-gating).
+    #[must_use]
+    pub fn default_mode() -> Self {
+        if cfg!(debug_assertions) {
+            SanitizerMode::Events
+        } else {
+            SanitizerMode::Off
+        }
+    }
+}
+
+/// Every how many mutation events the sampled sanitizer runs a full check.
+/// Each check is O(in-flight batches), and mutation events (map/unmap/
+/// migrate/poll) are the hot path of every debug-build run, so the stride is
+/// what keeps "always-on in dev" affordable; rare high-risk events
+/// (cancellation, abandonment, profiling toggles) are checked unsampled
+/// regardless.
+const SANITIZE_STRIDE: u64 = 256;
+
 /// A simulated two-tier heterogeneous memory.
 ///
 /// See the crate-level documentation for an overview and example. All
@@ -64,6 +116,13 @@ pub struct MemorySystem {
     stats: MemStats,
     timeline: Option<StatsTimeline>,
     unmapped_accesses: u64,
+    /// Seeded fault injector; `None` (the default) means a pristine run.
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    sanitizer: SanitizerMode,
+    /// First invariant violation found by the sanitizer, latched until read.
+    violation: Option<MemError>,
+    sanitize_events: u64,
 }
 
 impl MemorySystem {
@@ -88,6 +147,11 @@ impl MemorySystem {
             stats: MemStats::default(),
             timeline: None,
             unmapped_accesses: 0,
+            injector: None,
+            retry: RetryPolicy::default(),
+            sanitizer: SanitizerMode::default_mode(),
+            violation: None,
+            sanitize_events: 0,
         }
     }
 
@@ -134,6 +198,7 @@ impl MemorySystem {
         }
         self.used_pages[tier.index()] += range.count;
         self.stats.observe_mapped(self.used_pages);
+        self.sanitize_event();
         Ok(())
     }
 
@@ -169,6 +234,7 @@ impl MemorySystem {
         if let Some(cache) = &mut self.cache {
             cache.invalidate_range(range);
         }
+        self.sanitize_event();
         Ok(())
     }
 
@@ -184,10 +250,19 @@ impl MemorySystem {
         self.used_pages[tier.index()]
     }
 
-    /// Free pages in `tier`.
+    /// Free pages in `tier`. Under fault injection, transient fast-memory
+    /// pressure (pages temporarily claimed by a simulated co-tenant) is
+    /// subtracted from the fast tier's allocatable space.
     #[must_use]
     pub fn free_pages(&self, tier: Tier) -> u64 {
-        self.cfg.tier(tier).capacity_pages(self.cfg.page_size).saturating_sub(self.used_pages[tier.index()])
+        let mut free =
+            self.cfg.tier(tier).capacity_pages(self.cfg.page_size).saturating_sub(self.used_pages[tier.index()]);
+        if tier == Tier::Fast {
+            if let Some(inj) = &self.injector {
+                free = free.saturating_sub(inj.pressure_pages());
+            }
+        }
+        free
     }
 
     /// Free bytes in `tier`.
@@ -354,7 +429,7 @@ impl MemorySystem {
             }
         }
 
-        self.finish_access(&mut report, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write);
         report
     }
 
@@ -395,11 +470,10 @@ impl MemorySystem {
             // Memory Mode routes misses through the DRAM page cache.
             if self.memmode.is_some() {
                 self.count_profiling_fault(p, &mut report);
-                let mm = self
-                    .memmode
-                    .as_mut()
-                    .expect("checked is_some")
-                    .access(p, per_model, write, &self.cfg);
+                let mm = match self.memmode.as_mut() {
+                    Some(memmode) => memmode.access(p, per_model, write, &self.cfg),
+                    None => continue, // unreachable: is_some checked above
+                };
                 report.elapsed_ns += mm.elapsed_ns;
                 match mm.serviced_by {
                     Tier::Fast => report.bytes_fast += per_pay,
@@ -431,16 +505,22 @@ impl MemorySystem {
             self.record_traffic(tier, per_model, write, now);
         }
 
-        self.finish_access(&mut report, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write);
         report
     }
 
     /// Shared access epilogue: latency once per tier touched, cache hit
     /// time and fault overhead, all charged on the page-granular model
     /// bytes (the payload fields were filled exactly by the caller).
+    ///
+    /// This is also where every per-access fault-injection draw happens —
+    /// *only* here, shared by both pipelines, so the O(runs) fast path and
+    /// the per-page reference consume the injector's random stream
+    /// identically and stay state-equivalent under injection.
     fn finish_access(
         &mut self,
         report: &mut AccessReport,
+        range: PageRange,
         cache_model_bytes: u64,
         tier_model_bytes: [u64; 2],
         tier_touched: [bool; 2],
@@ -452,9 +532,41 @@ impl MemorySystem {
                     self.cfg.tier(tier).access_time_ns(tier_model_bytes[tier.index()], write);
             }
         }
+        // Injected slow-tier contention: the slow portion of this access is
+        // re-serviced at `factor`× its nominal time (Memory-Mode traffic is
+        // routed through its own cache model and is deliberately exempt).
+        if tier_touched[Tier::Slow.index()] {
+            if let Some(inj) = &mut self.injector {
+                if let Some(factor) = inj.maybe_slow_degradation() {
+                    let slow_ns = self
+                        .cfg
+                        .tier(Tier::Slow)
+                        .access_time_ns(tier_model_bytes[Tier::Slow.index()], write);
+                    report.elapsed_ns += (slow_ns as f64 * (factor - 1.0)).ceil() as Ns;
+                }
+            }
+        }
         if cache_model_bytes > 0 {
             if let Some(cache) = &self.cache {
                 report.elapsed_ns += cache.hit_time_ns(cache_model_bytes);
+            }
+        }
+        // Injected profiling noise: a phantom fault observed on this access,
+        // or one real fault going unrecorded (lost TLB-shootdown race).
+        if let Some(inj) = &mut self.injector {
+            if inj.maybe_spurious_fault() {
+                report.faults += 1;
+                if let Some(profiler) = &mut self.profiler {
+                    profiler.record_fault(range.first);
+                    self.stats.profiling_faults += 1;
+                }
+            }
+            if inj.maybe_lost_fault() && report.faults > 0 {
+                report.faults -= 1;
+                inj.record_lost_fault();
+                if self.profiler.is_some() {
+                    self.stats.profiling_faults -= 1;
+                }
             }
         }
         report.elapsed_ns += report.faults * self.cfg.fault_overhead_ns;
@@ -526,22 +638,56 @@ impl MemorySystem {
         self.stats.observe_mapped(self.used_pages);
         self.table.set_in_flight(range, true);
         let direction = Direction::into_tier(dest);
-        let ticket = if urgent {
-            self.engine.enqueue_urgent(range, direction, now)
-        } else {
-            self.engine.enqueue(range, direction, now)
-        };
+        let (extra_ns, failed) = self.draw_migration_perturbation();
+        let ticket = self.engine.enqueue_perturbed(range, direction, now, urgent, extra_ns, failed, 0);
+        self.sanitize_event();
         Ok(ticket)
     }
 
-    /// Apply every migration completed by `now`.
-    pub fn poll(&mut self, now: Ns) {
-        for done in self.engine.drain_completed(now) {
-            self.apply_completion(&done);
+    fn draw_migration_perturbation(&mut self) -> (Ns, bool) {
+        match &mut self.injector {
+            Some(inj) => inj.maybe_migration_perturbation(),
+            None => (0, false),
         }
     }
 
-    fn apply_completion(&mut self, done: &InFlight) {
+    /// Apply every migration completed by `now`.
+    ///
+    /// Batches that completed with an injected failure are re-enqueued with
+    /// exponential backoff (see [`RetryPolicy`]); the loop keeps draining so
+    /// a retry whose backoff already elapsed is resolved in the same poll.
+    pub fn poll(&mut self, now: Ns) {
+        if let Some(inj) = &mut self.injector {
+            inj.pressure_tick();
+        }
+        let mut applied = false;
+        let mut abandoned = false;
+        loop {
+            let done = self.engine.drain_completed(now);
+            if done.is_empty() {
+                break;
+            }
+            applied = true;
+            for batch in &done {
+                abandoned |= self.apply_completion(batch);
+            }
+        }
+        // The sanitizer runs only after the whole drain settles: mid-loop,
+        // batches later in the `done` vector are already out of the engine
+        // but not yet applied, which a check would misread as leaked flags.
+        // An abandoned migration is rare and high-risk, so it always checks.
+        if abandoned {
+            self.sanitize_rare();
+        } else if applied {
+            self.sanitize_event();
+        }
+    }
+
+    /// Returns `true` when the batch was abandoned (retries exhausted).
+    fn apply_completion(&mut self, done: &InFlight) -> bool {
+        if done.failed {
+            return self.handle_failed_batch(done);
+        }
         let dest = done.direction.dest();
         let src = done.direction.source();
         let mut moved_pages = 0u64;
@@ -568,6 +714,57 @@ impl MemorySystem {
             }
             self.record_traffic(src, bytes, false, done.ready_at);
             self.record_traffic(dest, bytes, true, done.ready_at);
+        }
+        false
+    }
+
+    /// A batch whose copy failed: no pages moved. Re-enqueue the parts still
+    /// in flight with backoff, or — once [`RetryPolicy::max_attempts`] is
+    /// exhausted — abandon the move, releasing the destination reservation
+    /// and leaving the pages in their source tier (the paper's "serve it
+    /// from slow memory" degradation, with the stall time already charged
+    /// to the channel). Returns `true` when the batch was abandoned.
+    fn handle_failed_batch(&mut self, done: &InFlight) -> bool {
+        // Adjacent runs may differ only in the poison bit; merge them back
+        // into contiguous sub-ranges so the retry pays one setup cost, like
+        // the original batch (pages freed mid-copy are skipped).
+        let mut subs: Vec<PageRange> = Vec::new();
+        for run in self.table.runs_in(done.range) {
+            if run.pte.in_flight {
+                match subs.last_mut() {
+                    Some(last) if last.end() == run.range.first => last.count += run.range.count,
+                    _ => subs.push(run.range),
+                }
+            }
+        }
+        if subs.is_empty() {
+            return false; // fully aborted while in flight
+        }
+        let attempts = self.retry.max_attempts.max(1);
+        if done.attempt + 1 < attempts {
+            if let Some(inj) = &mut self.injector {
+                inj.counters_mut().migration_retries += 1;
+            }
+            let backoff = self.retry.backoff_ns.saturating_mul(1u64 << done.attempt.min(16));
+            let when = done.ready_at.saturating_add(backoff);
+            for sub in subs {
+                let (extra_ns, failed) = self.draw_migration_perturbation();
+                self.engine.enqueue_perturbed(sub, done.direction, when, false, extra_ns, failed, done.attempt + 1);
+            }
+            false
+        } else {
+            let dest = done.direction.dest();
+            let mut pages = 0u64;
+            for sub in subs {
+                self.table.set_in_flight(sub, false);
+                pages += sub.count;
+            }
+            self.used_pages[dest.index()] -= pages;
+            if let Some(inj) = &mut self.injector {
+                inj.counters_mut().abandoned_migrations += 1;
+                inj.counters_mut().abandoned_pages += pages;
+            }
+            true
         }
     }
 
@@ -624,6 +821,7 @@ impl MemorySystem {
                 }
             }
         }
+        self.sanitize_rare();
         cancelled_pages
     }
 
@@ -638,9 +836,12 @@ impl MemorySystem {
 
     fn abort_migrations_overlapping(&mut self, range: PageRange, now: Ns) {
         self.poll(now);
-        // Cancel all pending batches, then re-enqueue the non-overlapping parts.
+        // Cancel all pending batches and roll back their flags and
+        // destination reservations *first*, so the table and engine agree
+        // again before any re-issue runs (the re-issues below go through
+        // `migrate`, whose sanitizer hook must observe a consistent state).
         let pending = self.engine.cancel_pending(now);
-        for batch in pending {
+        for batch in &pending {
             let dest = batch.direction.dest();
             let runs: Vec<PteRun> = self.table.runs_in(batch.range).collect();
             for run in runs {
@@ -649,10 +850,13 @@ impl MemorySystem {
                     self.used_pages[dest.index()] -= run.range.count;
                 }
             }
-            // Re-issue sub-ranges that do not overlap the range being
-            // unmapped. Deliberately per page: each single-page batch pays
-            // its own setup cost in the engine, and collapsing them into
-            // wider batches would change migration timing.
+        }
+        // Re-issue sub-ranges that do not overlap the range being
+        // unmapped. Deliberately per page: each single-page batch pays
+        // its own setup cost in the engine, and collapsing them into
+        // wider batches would change migration timing.
+        for batch in pending {
+            let dest = batch.direction.dest();
             for p in batch.range.iter() {
                 if !range.contains(p) {
                     let sub = PageRange::new(p, 1);
@@ -661,6 +865,7 @@ impl MemorySystem {
                 }
             }
         }
+        self.sanitize_rare();
     }
 
     // ------------------------------------------------------------ profiling
@@ -676,13 +881,16 @@ impl MemorySystem {
             // first profiled access of each page visible to the counter.
             cache.flush();
         }
+        self.sanitize_rare();
     }
 
     /// End the profiling phase, unpoisoning all pages and returning the
     /// collected per-page access counts.
     pub fn stop_profiling(&mut self) -> PageAccessMap {
         self.table.unpoison_all();
-        self.profiler.take().map(PageAccessProfiler::into_map).unwrap_or_default()
+        let map = self.profiler.take().map(PageAccessProfiler::into_map).unwrap_or_default();
+        self.sanitize_rare();
+        map
     }
 
     /// Whether a profiling phase is active.
@@ -754,6 +962,177 @@ impl MemorySystem {
     #[must_use]
     pub fn profiler(&self) -> Option<&PageAccessProfiler> {
         self.profiler.as_ref()
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Install a seeded fault injector. An injector whose profile has every
+    /// rate at zero consumes no entropy and leaves behaviour byte-identical
+    /// to having no injector at all (no-fault transparency).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Snapshot of the fault counters (all zero when no injector is set).
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.injector.as_ref().map(|i| *i.counters()).unwrap_or_default()
+    }
+
+    /// Override how failed migration batches are retried.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active migration retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    // ------------------------------------------------------------ sanitizer
+
+    /// Override the residency sanitizer mode (the build default is
+    /// [`SanitizerMode::default_mode`]).
+    pub fn set_sanitizer_mode(&mut self, mode: SanitizerMode) {
+        self.sanitizer = mode;
+    }
+
+    /// The active sanitizer mode.
+    #[must_use]
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        self.sanitizer
+    }
+
+    /// The first invariant violation the sanitizer found, if any. Latched:
+    /// once set it stays until inspected, so callers that cannot return a
+    /// `Result` from the access path (the executor) surface it at the next
+    /// step boundary as a typed error instead of a panic.
+    #[must_use]
+    pub fn sanitizer_violation(&self) -> Option<&MemError> {
+        self.violation.as_ref()
+    }
+
+    /// Validate the residency invariants right now, regardless of mode:
+    ///
+    /// 1. every page the engine is migrating is flagged in-flight in the
+    ///    table, and no in-flight flag exists without a covering batch
+    ///    (so no page can be double-booked or leaked mid-copy);
+    /// 2. per-tier `used_pages` equals mapped pages plus in-flight
+    ///    destination reservations — byte accounting is exact, and a page
+    ///    can never be counted in both tiers (the table maps each page to
+    ///    at most one tier by construction; this catches accounting drift);
+    /// 3. neither tier's usage exceeds its configured capacity;
+    /// 4. poison bits only exist while a profiling phase is active.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::InvariantViolation`] describing the first broken
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), MemError> {
+        let mut covered = 0u64;
+        let mut reserved = [0u64; 2];
+        for batch in self.engine.in_flight() {
+            let mut pages = 0u64;
+            for run in self.table.runs_in(batch.range) {
+                if run.pte.in_flight {
+                    pages += run.range.count;
+                }
+            }
+            covered += pages;
+            reserved[batch.direction.dest().index()] += pages;
+        }
+        let flagged = self.table.in_flight_count();
+        if covered != flagged {
+            let runs: Vec<String> = self
+                .table
+                .runs_in(PageRange::new(0, self.table.reserved()))
+                .filter(|r| r.pte.in_flight)
+                .map(|r| format!("{}+{}", r.range.first, r.range.count))
+                .collect();
+            let batches: Vec<String> = self
+                .engine
+                .in_flight()
+                .iter()
+                .map(|b| format!("{}+{}@{}{:?}", b.range.first, b.range.count, b.ready_at, b.direction))
+                .collect();
+            return Err(MemError::InvariantViolation {
+                detail: format!(
+                    "{flagged} pages flagged in-flight but {covered} covered by engine batches; flagged runs [{}]; batches [{}]",
+                    runs.join(","),
+                    batches.join(",")
+                ),
+            });
+        }
+        let mapped = self.table.mapped_counts();
+        for tier in Tier::both() {
+            let i = tier.index();
+            let expected = mapped[i] + reserved[i];
+            if self.used_pages[i] != expected {
+                return Err(MemError::InvariantViolation {
+                    detail: format!(
+                        "{tier} accounting drift: used_pages={} but mapped={} + in-flight reservations={}",
+                        self.used_pages[i], mapped[i], reserved[i]
+                    ),
+                });
+            }
+            let capacity = self.cfg.tier(tier).capacity_pages(self.cfg.page_size);
+            if self.used_pages[i] > capacity {
+                return Err(MemError::InvariantViolation {
+                    detail: format!(
+                        "{tier} over capacity: used_pages={} > capacity={capacity}",
+                        self.used_pages[i]
+                    ),
+                });
+            }
+        }
+        if self.profiler.is_none() {
+            let poisoned = self.table.poisoned_count();
+            if poisoned > 0 {
+                return Err(MemError::InvariantViolation {
+                    detail: format!("{poisoned} poisoned pages outside a profiling phase"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sampled sanitizer hook for frequent mutation events.
+    fn sanitize_event(&mut self) {
+        if self.sanitizer == SanitizerMode::Off || self.violation.is_some() {
+            return;
+        }
+        self.sanitize_events += 1;
+        if self.sanitize_events % SANITIZE_STRIDE != 0 {
+            return;
+        }
+        if let Err(e) = self.check_invariants() {
+            self.violation = Some(e);
+        }
+    }
+
+    /// Unsampled sanitizer hook for rare, high-risk events (cancellation,
+    /// abandoned migrations, profiling toggles).
+    fn sanitize_rare(&mut self) {
+        if self.sanitizer == SanitizerMode::Off || self.violation.is_some() {
+            return;
+        }
+        if let Err(e) = self.check_invariants() {
+            self.violation = Some(e);
+        }
+    }
+
+    /// Mutable page-table access for corruption tests of the sanitizer.
+    /// Writing through this bypasses all accounting — that is the point.
+    #[doc(hidden)]
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.table
     }
 
     /// Reset traffic counters (keeps mappings, modes and migrations).

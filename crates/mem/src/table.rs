@@ -102,16 +102,28 @@ impl Iterator for PteRuns<'_> {
 }
 
 /// A growable page table over the reserved virtual address space.
+///
+/// Global bit counts (mapped per tier, in-flight, poisoned) are cached and
+/// maintained by the bulk setters, so the residency sanitizer's whole-table
+/// queries are O(1) instead of O(reserved pages). Writing entries directly
+/// through [`PageTable::get_mut`] bypasses the caches — production code must
+/// use the bulk setters.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct PageTable {
     entries: Vec<Pte>,
+    /// Cached mapped-page count per tier, by [`Tier::index`].
+    mapped: [u64; 2],
+    /// Cached count of pages with the in-flight flag set.
+    in_flight: u64,
+    /// Cached count of poisoned pages.
+    poisoned: u64,
 }
 
 impl PageTable {
     /// An empty table.
     #[must_use]
     pub fn new() -> Self {
-        PageTable { entries: Vec::new() }
+        PageTable::default()
     }
 
     /// Number of reserved virtual pages.
@@ -207,16 +219,33 @@ impl PageTable {
     /// writing `get_mut(p).state` per page). The range must be reserved.
     pub fn set_state(&mut self, range: PageRange, state: PageState) {
         debug_assert!(range.end() <= self.reserved(), "set_state out of range");
+        let mut delta = [0i64; 2];
         for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            if let PageState::Mapped(t) = pte.state {
+                delta[t.index()] -= 1;
+            }
             pte.state = state;
+            if let PageState::Mapped(t) = state {
+                delta[t.index()] += 1;
+            }
+        }
+        for (cached, d) in self.mapped.iter_mut().zip(delta) {
+            *cached = (*cached as i64 + d) as u64;
         }
     }
 
     /// Set the poison bit of every page in `range`. The range must be reserved.
     pub fn set_poisoned(&mut self, range: PageRange, poisoned: bool) {
         debug_assert!(range.end() <= self.reserved(), "set_poisoned out of range");
+        let mut changed = 0u64;
         for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            changed += u64::from(pte.poisoned != poisoned);
             pte.poisoned = poisoned;
+        }
+        if poisoned {
+            self.poisoned += changed;
+        } else {
+            self.poisoned -= changed;
         }
     }
 
@@ -224,8 +253,15 @@ impl PageTable {
     /// reserved.
     pub fn set_in_flight(&mut self, range: PageRange, in_flight: bool) {
         debug_assert!(range.end() <= self.reserved(), "set_in_flight out of range");
+        let mut changed = 0u64;
         for pte in &mut self.entries[range.first as usize..range.end() as usize] {
+            changed += u64::from(pte.in_flight != in_flight);
             pte.in_flight = in_flight;
+        }
+        if in_flight {
+            self.in_flight += changed;
+        } else {
+            self.in_flight -= changed;
         }
     }
 
@@ -239,11 +275,14 @@ impl PageTable {
 
     /// Poison every mapped page in the whole table (profiling start).
     pub fn poison_all_mapped(&mut self) {
+        let mut count = 0u64;
         for pte in &mut self.entries {
             if matches!(pte.state, PageState::Mapped(_)) {
                 pte.poisoned = true;
             }
+            count += u64::from(pte.poisoned);
         }
+        self.poisoned = count;
     }
 
     /// Clear the poison bit of every page in the table (profiling stop).
@@ -251,18 +290,25 @@ impl PageTable {
         for pte in &mut self.entries {
             pte.poisoned = false;
         }
+        self.poisoned = 0;
     }
 
-    /// Count mapped pages per tier across the whole table.
+    /// Mapped pages per tier across the whole table (cached, O(1)).
     #[must_use]
     pub fn mapped_counts(&self) -> [u64; 2] {
-        let mut counts = [0u64; 2];
-        for e in &self.entries {
-            if let PageState::Mapped(t) = e.state {
-                counts[t.index()] += 1;
-            }
-        }
-        counts
+        self.mapped
+    }
+
+    /// Pages flagged as having a migration in flight (cached, O(1)).
+    #[must_use]
+    pub fn in_flight_count(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Poisoned pages (cached, O(1)).
+    #[must_use]
+    pub fn poisoned_count(&self) -> u64 {
+        self.poisoned
     }
 }
 
@@ -388,11 +434,51 @@ mod tests {
     fn mapping_is_visible_through_queries() {
         let mut t = PageTable::new();
         let r = t.reserve(4);
-        t.get_mut(1).unwrap().state = PageState::Mapped(Tier::Fast);
-        t.get_mut(2).unwrap().state = PageState::Mapped(Tier::Slow);
+        t.set_state(PageRange::new(1, 1), PageState::Mapped(Tier::Fast));
+        t.set_state(PageRange::new(2, 1), PageState::Mapped(Tier::Slow));
         assert_eq!(t.tier_of(1), Some(Tier::Fast));
         assert_eq!(t.tier_of(2), Some(Tier::Slow));
         assert_eq!(t.mapped_in(r).count(), 2);
         assert_eq!(t.mapped_counts(), [1, 1]);
+    }
+
+    /// The O(1) cached counts must agree with a full-table recount after an
+    /// arbitrary churn of overlapping bulk-setter calls.
+    #[test]
+    fn cached_counts_survive_bulk_setter_churn() {
+        use sentinel_util::Rng;
+        let recount = |t: &PageTable| {
+            let mut mapped = [0u64; 2];
+            let (mut in_flight, mut poisoned) = (0u64, 0u64);
+            for p in 0..t.reserved() {
+                let e = t.get(p).unwrap();
+                if let PageState::Mapped(tier) = e.state {
+                    mapped[tier.index()] += 1;
+                }
+                in_flight += u64::from(e.in_flight);
+                poisoned += u64::from(e.poisoned);
+            }
+            (mapped, in_flight, poisoned)
+        };
+        let mut t = PageTable::new();
+        t.reserve(64);
+        let mut rng = Rng::seed_from_u64(0xC0DE);
+        for _ in 0..500 {
+            let first = rng.gen_range(0, 60);
+            let range = PageRange::new(first, rng.gen_range(1, 64 - first + 1).min(8));
+            match rng.gen_usize(0, 7) {
+                0 => t.set_state(range, PageState::Mapped(Tier::Fast)),
+                1 => t.set_state(range, PageState::Mapped(Tier::Slow)),
+                2 => t.set_state(range, PageState::Unmapped),
+                3 => t.set_poisoned(range, rng.gen_bool(0.5)),
+                4 => t.set_in_flight(range, rng.gen_bool(0.5)),
+                5 => t.poison_all_mapped(),
+                _ => t.unpoison_all(),
+            }
+            let (mapped, in_flight, poisoned) = recount(&t);
+            assert_eq!(t.mapped_counts(), mapped);
+            assert_eq!(t.in_flight_count(), in_flight);
+            assert_eq!(t.poisoned_count(), poisoned);
+        }
     }
 }

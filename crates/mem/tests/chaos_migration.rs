@@ -1,0 +1,221 @@
+//! Chaos suite: randomized fault schedules against the migration engine and
+//! whole Sentinel training runs, validated by the residency sanitizer.
+//!
+//! What must hold under arbitrary injected faults:
+//! * no page is lost or double-mapped — `check_invariants` stays `Ok`;
+//! * every training step completes (faults degrade, they never wedge);
+//! * fault counters are monotone over time;
+//! * the same seed reproduces the same run bit-for-bit;
+//! * a zero-rate injector leaves the system state identical to no injector;
+//! * real corruption surfaces as a typed [`MemError::InvariantViolation`],
+//!   not a panic.
+
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel_mem::{
+    AccessKind, FaultCounters, FaultInjector, FaultProfile, HmConfig, MemError, MemorySystem,
+    PageRange, SanitizerMode, Tier,
+};
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_util::Rng;
+
+fn chaos_system(seed: u64) -> MemorySystem {
+    let mut m = MemorySystem::new(
+        HmConfig::testing().with_fast_capacity(64 * 4096).with_slow_capacity(1024 * 4096),
+    );
+    m.set_fault_injector(FaultInjector::new(FaultProfile::heavy(), seed));
+    m.set_sanitizer_mode(SanitizerMode::Events);
+    m
+}
+
+/// Sum of all counters — a scalar that must never decrease.
+fn total(c: &FaultCounters) -> u64 {
+    c.degraded_slow_accesses
+        + c.injected_stalls
+        + c.injected_failures
+        + c.migration_retries
+        + c.abandoned_migrations
+        + c.abandoned_pages
+        + c.spurious_faults
+        + c.lost_faults
+        + c.pressure_redraws
+}
+
+/// Random map/access/migrate/unmap/poll churn under the heavy profile.
+/// Every page must stay accounted for at every step.
+#[test]
+fn randomized_page_ops_never_lose_or_double_map_a_page() {
+    for seed in [1u64, 7, 0xFA17, 0xDEAD_BEEF] {
+        let mut m = chaos_system(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
+        let mut live: Vec<PageRange> = Vec::new();
+        let mut now = 0u64;
+        let mut last_total = 0u64;
+        for step in 0..400 {
+            match rng.gen_usize(0, 5) {
+                // map a fresh range into a random tier
+                0 => {
+                    let r = m.reserve(rng.gen_range(1, 9));
+                    let tier = if rng.gen_bool(0.5) { Tier::Fast } else { Tier::Slow };
+                    if m.map(r, tier, now).is_ok() {
+                        live.push(r);
+                    } else if m.map(r, Tier::Slow, now).is_ok() {
+                        live.push(r);
+                    }
+                }
+                // unmap a live range (possibly mid-migration)
+                1 if !live.is_empty() => {
+                    let r = live.swap_remove(rng.gen_usize(0, live.len()));
+                    m.unmap(r, now).unwrap();
+                }
+                // migrate a live range somewhere
+                2 if !live.is_empty() => {
+                    let r = live[rng.gen_usize(0, live.len())];
+                    let dest = if rng.gen_bool(0.5) { Tier::Fast } else { Tier::Slow };
+                    // Busy pages or a full tier are legitimate refusals.
+                    let _ = m.migrate(r, dest, now);
+                }
+                // access a live range
+                3 if !live.is_empty() => {
+                    let r = live[rng.gen_usize(0, live.len())];
+                    let kind =
+                        if rng.gen_bool(0.5) { AccessKind::Read } else { AccessKind::Write };
+                    let _ = m.access(r, r.count * 4096, kind, now);
+                }
+                // let time pass and copies land (or fail and retry)
+                _ => {
+                    now += rng.gen_range(1, 2_000_000);
+                    m.poll(now);
+                }
+            }
+            m.check_invariants().unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+            let t = total(&m.fault_counters());
+            assert!(t >= last_total, "seed {seed} step {step}: counters went backwards");
+            last_total = t;
+        }
+        assert!(m.sanitizer_violation().is_none(), "seed {seed}: sanitizer latched");
+        // Drain everything; the world must still balance.
+        now += 1 << 40;
+        m.poll(now);
+        m.check_invariants().unwrap();
+    }
+}
+
+/// Whole training runs under the heavy profile: every step completes, the
+/// sanitizer stays quiet, and the injected faults actually fired.
+#[test]
+fn training_survives_heavy_faults_and_stays_deterministic() {
+    for spec in [ModelSpec::resnet(20, 4).with_scale(4), ModelSpec::bert_base(2).with_scale(4)] {
+        let graph = ModelZoo::build(&spec).unwrap();
+        let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+        let steps = 6;
+        let run = |seed: u64| {
+            SentinelRuntime::new(SentinelConfig::default(), hm.clone())
+                .with_fault_injection(FaultProfile::heavy(), seed)
+                .with_sanitizer(SanitizerMode::Events)
+                .train(&graph, steps)
+                .unwrap_or_else(|e| panic!("{}: heavy-fault run failed: {e}", spec.name()))
+        };
+        let a = run(0xFA17);
+        assert_eq!(a.steps_executed, steps, "{}", spec.name());
+        assert!(
+            total(&a.fault_counters) > 0,
+            "{}: heavy profile injected nothing",
+            spec.name()
+        );
+        // Per-step counters are deltas; their sum is the run total.
+        let summed: u64 = a.report.steps.iter().map(|s| total(&s.fault)).sum();
+        assert_eq!(summed, total(&a.fault_counters), "{}", spec.name());
+
+        // Same seed → bit-identical timing and fault schedule.
+        let b = run(0xFA17);
+        assert_eq!(a.report.steps.len(), b.report.steps.len());
+        for (x, y) in a.report.steps.iter().zip(&b.report.steps) {
+            assert_eq!(x.duration_ns, y.duration_ns, "{}", spec.name());
+        }
+        assert_eq!(total(&a.fault_counters), total(&b.fault_counters));
+
+        // A different seed draws a different schedule.
+        let c = run(0x0BAD);
+        assert_ne!(
+            a.report.steps.iter().map(|s| s.duration_ns).collect::<Vec<_>>(),
+            c.report.steps.iter().map(|s| s.duration_ns).collect::<Vec<_>>(),
+            "{}: fault schedule ignored the seed",
+            spec.name()
+        );
+    }
+}
+
+/// A zero-rate injector consumes no entropy: the memory system ends up in
+/// exactly the same state as one with no injector at all.
+#[test]
+fn zero_rate_injector_is_state_transparent() {
+    let drive = |with_injector: bool| {
+        let mut m = MemorySystem::new(
+            HmConfig::testing().with_fast_capacity(32 * 4096).with_slow_capacity(256 * 4096),
+        );
+        if with_injector {
+            m.set_fault_injector(FaultInjector::new(FaultProfile::off(), 42));
+        }
+        let r = m.reserve(16);
+        m.map(r, Tier::Slow, 0).unwrap();
+        let mut now = 0;
+        let mut trace = Vec::new();
+        for round in 0..12 {
+            let dest = if round % 2 == 0 { Tier::Fast } else { Tier::Slow };
+            let t = m.migrate(r, dest, now).unwrap();
+            now = t.ready_at;
+            m.poll(now);
+            let rep = m.access(r, 4096 * 16, AccessKind::Read, now);
+            now += rep.elapsed_ns;
+            trace.push((now, rep.bytes_fast, rep.bytes_slow, rep.faults));
+        }
+        m.check_invariants().unwrap();
+        assert!(m.fault_counters().is_zero());
+        trace
+    };
+    assert_eq!(drive(false), drive(true), "zero-rate injector changed behaviour");
+}
+
+/// Deliberate page-table corruption must surface as a typed error from the
+/// sanitizer — never a panic, never silence.
+#[test]
+fn corruption_is_reported_as_typed_violation() {
+    // An in-flight flag with no backing batch.
+    let mut m = MemorySystem::new(HmConfig::testing());
+    m.set_sanitizer_mode(SanitizerMode::Events);
+    let r = m.reserve(8);
+    m.map(r, Tier::Fast, 0).unwrap();
+    m.page_table_mut().set_in_flight(PageRange::new(r.first, 2), true);
+    match m.check_invariants() {
+        Err(MemError::InvariantViolation { detail }) => {
+            assert!(detail.contains("in-flight"), "unexpected detail: {detail}")
+        }
+        other => panic!("corruption not caught: {other:?}"),
+    }
+
+    // Accounting drift: a mapped page the books don't know about.
+    let mut m = MemorySystem::new(HmConfig::testing());
+    m.set_sanitizer_mode(SanitizerMode::Events);
+    let r = m.reserve(4);
+    m.map(r, Tier::Slow, 0).unwrap();
+    m.page_table_mut().set_state(PageRange::new(r.first, 1), sentinel_mem::PageState::Mapped(Tier::Fast));
+    match m.check_invariants() {
+        Err(MemError::InvariantViolation { detail }) => {
+            assert!(detail.contains("accounting drift"), "unexpected detail: {detail}")
+        }
+        other => panic!("corruption not caught: {other:?}"),
+    }
+
+    // Poison bits outside a profiling phase.
+    let mut m = MemorySystem::new(HmConfig::testing());
+    m.set_sanitizer_mode(SanitizerMode::Events);
+    let r = m.reserve(4);
+    m.map(r, Tier::Slow, 0).unwrap();
+    m.page_table_mut().set_poisoned(r, true);
+    match m.check_invariants() {
+        Err(MemError::InvariantViolation { detail }) => {
+            assert!(detail.contains("poisoned"), "unexpected detail: {detail}")
+        }
+        other => panic!("corruption not caught: {other:?}"),
+    }
+}

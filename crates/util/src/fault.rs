@@ -1,0 +1,460 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The Sentinel paper's adaptive-interval machinery exists precisely because
+//! real heterogeneous-memory stacks misbehave: slow-tier bandwidth jitters,
+//! migrations stall behind contending traffic or fail outright, and the
+//! kernel-level profiler can observe spurious or lost poison faults. This
+//! module provides the knobs ([`FaultProfile`]) and the seeded draw engine
+//! ([`FaultInjector`]) that the memory substrate consults at well-defined
+//! hook points; `crates/mem` owns the hooks themselves.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism** — every draw comes from the in-tree xoshiro [`Rng`]
+//!   seeded once at construction, so a `(profile, seed)` pair names one
+//!   exact fault schedule, reproducible across hosts and `--jobs` counts.
+//! * **No-fault transparency** — a rate of `0.0` for a knob consumes *no*
+//!   random draw at its hook, so an injector with [`FaultProfile::off`] is
+//!   byte-identical to running without an injector at all (enforced by
+//!   `tests/no_fault_transparency.rs`).
+
+use crate::rng::Rng;
+
+/// Fault rates and magnitudes. All rates are probabilities in `[0, 1]`;
+/// a rate of exactly `0.0` disables the knob without consuming entropy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Per-access chance that a slow-tier access is serviced at degraded
+    /// bandwidth (contention jitter).
+    pub slow_degrade_rate: f64,
+    /// Service-time multiplier (`>= 1.0`) applied to the slow-tier portion
+    /// of a degraded access.
+    pub slow_degrade_factor: f64,
+    /// Per-batch chance that a migration stalls for [`Self::stall_ns`].
+    pub migration_stall_rate: f64,
+    /// Extra copy time injected into a stalled migration batch.
+    pub stall_ns: u64,
+    /// Per-batch chance that a migration copy fails outright (the batch
+    /// completes without moving pages and is retried with backoff).
+    pub migration_failure_rate: f64,
+    /// Per-access chance of a phantom profiling fault being observed.
+    pub spurious_fault_rate: f64,
+    /// Per-access chance that one real profiling fault goes unrecorded.
+    pub lost_fault_rate: f64,
+    /// Per-poll chance that the transient fast-memory pressure level is
+    /// redrawn from `[0, pressure_max_pages]`.
+    pub pressure_rate: f64,
+    /// Upper bound of the transient fast-page pressure (pages temporarily
+    /// stolen from the allocatable fast tier, as by a co-tenant).
+    pub pressure_max_pages: u64,
+}
+
+impl FaultProfile {
+    /// All rates zero: a constructed-but-inert injector.
+    #[must_use]
+    pub fn off() -> Self {
+        FaultProfile {
+            slow_degrade_rate: 0.0,
+            slow_degrade_factor: 1.0,
+            migration_stall_rate: 0.0,
+            stall_ns: 0,
+            migration_failure_rate: 0.0,
+            spurious_fault_rate: 0.0,
+            lost_fault_rate: 0.0,
+            pressure_rate: 0.0,
+            pressure_max_pages: 0,
+        }
+    }
+
+    /// Mild perturbation: occasional jitter and stalls, rare failures.
+    #[must_use]
+    pub fn light() -> Self {
+        FaultProfile {
+            slow_degrade_rate: 0.05,
+            slow_degrade_factor: 2.0,
+            migration_stall_rate: 0.05,
+            stall_ns: 200_000,
+            migration_failure_rate: 0.01,
+            spurious_fault_rate: 0.01,
+            lost_fault_rate: 0.01,
+            pressure_rate: 0.01,
+            pressure_max_pages: 8,
+        }
+    }
+
+    /// Aggressive perturbation for chaos suites.
+    #[must_use]
+    pub fn heavy() -> Self {
+        FaultProfile {
+            slow_degrade_rate: 0.25,
+            slow_degrade_factor: 4.0,
+            migration_stall_rate: 0.25,
+            stall_ns: 1_000_000,
+            migration_failure_rate: 0.15,
+            spurious_fault_rate: 0.05,
+            lost_fault_rate: 0.05,
+            pressure_rate: 0.05,
+            pressure_max_pages: 32,
+        }
+    }
+
+    /// Whether every knob is disabled.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.slow_degrade_rate == 0.0
+            && self.migration_stall_rate == 0.0
+            && self.migration_failure_rate == 0.0
+            && self.spurious_fault_rate == 0.0
+            && self.lost_fault_rate == 0.0
+            && self.pressure_rate == 0.0
+    }
+
+    /// Parse a profile description: a preset name (`off`, `light`, `heavy`)
+    /// or a comma-separated `key=value` list over the field names, starting
+    /// from [`FaultProfile::off`] — e.g.
+    /// `"migration_failure_rate=0.2,stall_ns=500000"`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending key or value.
+    pub fn parse(spec: &str) -> Result<FaultProfile, String> {
+        match spec.trim() {
+            "off" => return Ok(FaultProfile::off()),
+            "light" => return Ok(FaultProfile::light()),
+            "heavy" => return Ok(FaultProfile::heavy()),
+            _ => {}
+        }
+        let mut p = FaultProfile::off();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault profile entry {part:?} is not key=value"))?;
+            let fv = || value.parse::<f64>().map_err(|_| format!("bad value for {key}: {value:?}"));
+            let uv = || value.parse::<u64>().map_err(|_| format!("bad value for {key}: {value:?}"));
+            match key.trim() {
+                "slow_degrade_rate" => p.slow_degrade_rate = fv()?,
+                "slow_degrade_factor" => p.slow_degrade_factor = fv()?,
+                "migration_stall_rate" => p.migration_stall_rate = fv()?,
+                "stall_ns" => p.stall_ns = uv()?,
+                "migration_failure_rate" => p.migration_failure_rate = fv()?,
+                "spurious_fault_rate" => p.spurious_fault_rate = fv()?,
+                "lost_fault_rate" => p.lost_fault_rate = fv()?,
+                "pressure_rate" => p.pressure_rate = fv()?,
+                "pressure_max_pages" => p.pressure_max_pages = uv()?,
+                other => return Err(format!("unknown fault profile key {other:?}")),
+            }
+        }
+        let rates = [
+            p.slow_degrade_rate,
+            p.migration_stall_rate,
+            p.migration_failure_rate,
+            p.spurious_fault_rate,
+            p.lost_fault_rate,
+            p.pressure_rate,
+        ];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(format!("fault rates must lie in [0, 1]: {spec:?}"));
+        }
+        if p.slow_degrade_factor < 1.0 {
+            return Err(format!("slow_degrade_factor must be >= 1.0: {}", p.slow_degrade_factor));
+        }
+        Ok(p)
+    }
+}
+
+/// Read the fault configuration from the environment:
+/// `SENTINEL_FAULT_PROFILE` (preset name or `key=value` list, see
+/// [`FaultProfile::parse`]) and `SENTINEL_FAULT_SEED` (decimal or `0x` hex).
+/// Setting either variable activates injection; an absent profile defaults
+/// to `light`, an absent seed to `0xFA_17`.
+///
+/// # Errors
+///
+/// A message describing the malformed variable.
+pub fn fault_env() -> Result<Option<(FaultProfile, u64)>, String> {
+    let profile = std::env::var("SENTINEL_FAULT_PROFILE").ok();
+    let seed = std::env::var("SENTINEL_FAULT_SEED").ok();
+    if profile.is_none() && seed.is_none() {
+        return Ok(None);
+    }
+    let profile = match profile {
+        Some(raw) => FaultProfile::parse(&raw).map_err(|e| format!("SENTINEL_FAULT_PROFILE: {e}"))?,
+        None => FaultProfile::light(),
+    };
+    let seed = match seed {
+        Some(raw) => {
+            let raw = raw.trim();
+            let parsed = match raw.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse::<u64>(),
+            };
+            parsed.map_err(|_| format!("SENTINEL_FAULT_SEED: not an integer: {raw:?}"))?
+        }
+        None => 0xFA17,
+    };
+    Ok(Some((profile, seed)))
+}
+
+/// Mix a stable string key into a base seed (FNV-1a), so independent
+/// subsystems (one per experiment, one per model run) draw decorrelated but
+/// reproducible streams regardless of execution order or `--jobs` count.
+#[must_use]
+pub fn derive_seed(base: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ base.rotate_left(17)
+}
+
+/// Monotone counters of injected faults and their downstream handling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Slow-tier accesses serviced at degraded bandwidth.
+    pub degraded_slow_accesses: u64,
+    /// Migration batches that had a stall injected.
+    pub injected_stalls: u64,
+    /// Migration batches that had a copy failure injected.
+    pub injected_failures: u64,
+    /// Failed batches re-enqueued with backoff.
+    pub migration_retries: u64,
+    /// Migrations abandoned after exhausting retries.
+    pub abandoned_migrations: u64,
+    /// Pages left in their source tier by abandoned migrations.
+    pub abandoned_pages: u64,
+    /// Phantom profiling faults observed.
+    pub spurious_faults: u64,
+    /// Real profiling faults that went unrecorded.
+    pub lost_faults: u64,
+    /// Times the transient fast-memory pressure level was redrawn.
+    pub pressure_redraws: u64,
+}
+
+impl FaultCounters {
+    /// Component-wise difference `self - earlier` (counters are monotone,
+    /// so this is the activity between two snapshots).
+    #[must_use]
+    pub fn delta(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            degraded_slow_accesses: self.degraded_slow_accesses - earlier.degraded_slow_accesses,
+            injected_stalls: self.injected_stalls - earlier.injected_stalls,
+            injected_failures: self.injected_failures - earlier.injected_failures,
+            migration_retries: self.migration_retries - earlier.migration_retries,
+            abandoned_migrations: self.abandoned_migrations - earlier.abandoned_migrations,
+            abandoned_pages: self.abandoned_pages - earlier.abandoned_pages,
+            spurious_faults: self.spurious_faults - earlier.spurious_faults,
+            lost_faults: self.lost_faults - earlier.lost_faults,
+            pressure_redraws: self.pressure_redraws - earlier.pressure_redraws,
+        }
+    }
+
+    /// Whether every counter is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
+crate::impl_to_json!(FaultCounters {
+    degraded_slow_accesses,
+    injected_stalls,
+    injected_failures,
+    migration_retries,
+    abandoned_migrations,
+    abandoned_pages,
+    spurious_faults,
+    lost_faults,
+    pressure_redraws,
+});
+
+/// The seeded draw engine consulted by the memory substrate's fault hooks.
+///
+/// Every `maybe_*` method guards on its rate before drawing, so disabled
+/// knobs consume no entropy (the basis of no-fault transparency).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: Rng,
+    pressure_pages: u64,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Build an injector for `profile` seeded with `seed`.
+    #[must_use]
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        FaultInjector { profile, rng: Rng::seed_from_u64(seed), pressure_pages: 0, counters: FaultCounters::default() }
+    }
+
+    /// The active profile.
+    #[must_use]
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Mutable counters, for the owning subsystem to record downstream
+    /// handling (retries, abandoned migrations).
+    pub fn counters_mut(&mut self) -> &mut FaultCounters {
+        &mut self.counters
+    }
+
+    fn draw(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.gen_bool(rate)
+    }
+
+    /// Degradation factor for a slow-tier access, if this one is degraded.
+    pub fn maybe_slow_degradation(&mut self) -> Option<f64> {
+        if self.draw(self.profile.slow_degrade_rate) {
+            self.counters.degraded_slow_accesses += 1;
+            Some(self.profile.slow_degrade_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Perturbation for one migration batch: `(extra stall ns, failed)`.
+    pub fn maybe_migration_perturbation(&mut self) -> (u64, bool) {
+        let stall = if self.draw(self.profile.migration_stall_rate) {
+            self.counters.injected_stalls += 1;
+            self.profile.stall_ns
+        } else {
+            0
+        };
+        let failed = self.draw(self.profile.migration_failure_rate);
+        if failed {
+            self.counters.injected_failures += 1;
+        }
+        (stall, failed)
+    }
+
+    /// Whether a phantom profiling fault is observed on this access.
+    pub fn maybe_spurious_fault(&mut self) -> bool {
+        let hit = self.draw(self.profile.spurious_fault_rate);
+        if hit {
+            self.counters.spurious_faults += 1;
+        }
+        hit
+    }
+
+    /// Whether one real profiling fault of this access goes unrecorded.
+    /// The caller only invokes the loss when it actually had a fault to
+    /// lose, so it reports the event back via [`Self::record_lost_fault`].
+    pub fn maybe_lost_fault(&mut self) -> bool {
+        self.draw(self.profile.lost_fault_rate)
+    }
+
+    /// Record that a drawn fault loss actually removed a fault.
+    pub fn record_lost_fault(&mut self) {
+        self.counters.lost_faults += 1;
+    }
+
+    /// Advance the transient fast-memory pressure state (called once per
+    /// poll) and return the current stolen-page count.
+    pub fn pressure_tick(&mut self) -> u64 {
+        if self.draw(self.profile.pressure_rate) {
+            self.counters.pressure_redraws += 1;
+            self.pressure_pages = if self.profile.pressure_max_pages == 0 {
+                0
+            } else {
+                self.rng.gen_range(0, self.profile.pressure_max_pages + 1)
+            };
+        }
+        self.pressure_pages
+    }
+
+    /// Current transient fast-memory pressure in pages.
+    #[must_use]
+    pub fn pressure_pages(&self) -> u64 {
+        self.pressure_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_profile_consumes_no_entropy() {
+        let mut inj = FaultInjector::new(FaultProfile::off(), 7);
+        let before = inj.rng.clone().next_u64();
+        assert!(inj.maybe_slow_degradation().is_none());
+        assert_eq!(inj.maybe_migration_perturbation(), (0, false));
+        assert!(!inj.maybe_spurious_fault());
+        assert!(!inj.maybe_lost_fault());
+        assert_eq!(inj.pressure_tick(), 0);
+        // The stream was never advanced.
+        assert_eq!(inj.rng.next_u64(), before);
+        assert!(inj.counters().is_zero());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultProfile::heavy(), 99);
+            let mut log = Vec::new();
+            for _ in 0..200 {
+                log.push(inj.maybe_migration_perturbation());
+                log.push((inj.pressure_tick(), inj.maybe_spurious_fault()as u64 != 0));
+            }
+            (log, *inj.counters())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parse_presets_and_overrides() {
+        assert_eq!(FaultProfile::parse("off").unwrap(), FaultProfile::off());
+        assert_eq!(FaultProfile::parse("heavy").unwrap(), FaultProfile::heavy());
+        let p = FaultProfile::parse("migration_failure_rate=0.5,stall_ns=123").unwrap();
+        assert_eq!(p.migration_failure_rate, 0.5);
+        assert_eq!(p.stall_ns, 123);
+        assert_eq!(p.slow_degrade_rate, 0.0); // starts from off()
+        assert!(FaultProfile::parse("nope=1").is_err());
+        assert!(FaultProfile::parse("migration_failure_rate=2.0").is_err());
+        assert!(FaultProfile::parse("slow_degrade_factor=0.5").is_err());
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_key_sensitive() {
+        let a = derive_seed(1, "resnet|0.2");
+        assert_eq!(a, derive_seed(1, "resnet|0.2"));
+        assert_ne!(a, derive_seed(1, "bert|0.2"));
+        assert_ne!(a, derive_seed(2, "resnet|0.2"));
+    }
+
+    #[test]
+    fn counters_delta_is_componentwise() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(), 3);
+        for _ in 0..50 {
+            inj.maybe_migration_perturbation();
+        }
+        let mid = *inj.counters();
+        for _ in 0..50 {
+            inj.maybe_migration_perturbation();
+        }
+        let total = *inj.counters();
+        let d = total.delta(&mid);
+        assert_eq!(mid.injected_stalls + d.injected_stalls, total.injected_stalls);
+        assert_eq!(mid.injected_failures + d.injected_failures, total.injected_failures);
+    }
+
+    #[test]
+    fn pressure_stays_in_bounds() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(), 5);
+        for _ in 0..500 {
+            assert!(inj.pressure_tick() <= FaultProfile::heavy().pressure_max_pages);
+        }
+        assert!(inj.counters().pressure_redraws > 0);
+    }
+}

@@ -16,14 +16,19 @@
 //!   `criterion`),
 //! - [`pool`] — a scoped thread pool with ordered result collection and
 //!   panic propagation (replaces `rayon`-style `par_map` for the parallel
-//!   experiment runner; honors `SENTINEL_JOBS`).
+//!   experiment runner; honors `SENTINEL_JOBS`),
+//! - [`fault`] — a deterministic, seeded fault-injection engine (profiles,
+//!   draw guards and monotone counters; honors `SENTINEL_FAULT_SEED` /
+//!   `SENTINEL_FAULT_PROFILE`).
 
+pub mod fault;
 pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod timing;
 
+pub use fault::{derive_seed, fault_env, FaultCounters, FaultInjector, FaultProfile};
 pub use json::{Json, JsonError, ToJson};
 pub use pool::{default_jobs, par_map, set_default_jobs, Pool};
 pub use prop::{check, no_shrink, shrink_u64, shrink_usize, shrink_vec, PropConfig};

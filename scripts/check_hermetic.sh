@@ -20,6 +20,16 @@ cargo test -q --offline -p sentinel-mem --test access_equivalence_prop
 echo "== access-path bench compiles and runs (smoke mode, no results write) =="
 SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_access_path
 
+echo "== chaos suite: randomized faults never break residency invariants =="
+cargo test -q --offline -p sentinel-mem --test chaos_migration
+
+echo "== zero-rate fault injection is byte-transparent =="
+cargo test -q --offline --test no_fault_transparency
+
+echo "== chaos smoke: fixed-seed faulty run completes end to end =="
+SENTINEL_FAULT_SEED=0xFA17 SENTINEL_FAULT_PROFILE=light \
+    cargo run -q --offline --release -p sentinel-bench --bin run_experiments -- --fast --jobs 2 chaos
+
 echo "== dependency closure is sentinel-* only =="
 bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
 if [[ -n "$bad_lock" ]]; then

@@ -1,0 +1,75 @@
+//! No-fault transparency and cross-jobs fault determinism.
+//!
+//! Two contracts of the fault-injection subsystem:
+//!
+//! 1. **Transparency** — an injector whose profile has every rate at zero
+//!    consumes no entropy, so results are byte-identical to a run with no
+//!    injector at all, at any job count.
+//! 2. **Determinism** — with a nonzero profile and fixed seed, results are
+//!    byte-identical across job counts: each run's injector seed is derived
+//!    from the base seed and a stable per-run key, never from scheduling.
+//!
+//! Everything lives in ONE `#[test]` in its own binary: the scenarios set
+//! process-global environment variables, which must not race with other
+//! tests sharing the process.
+
+use sentinel::bench::{experiment_registry, ExpConfig};
+use sentinel::util::ToJson;
+
+/// Render one experiment to its on-disk JSON bytes at a given job count.
+fn render(id: &str, jobs: usize) -> String {
+    let (_, generator) = experiment_registry()
+        .into_iter()
+        .find(|(known, _)| *known == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    sentinel::util::set_default_jobs(jobs);
+    let result = generator(&ExpConfig::new(true).with_jobs(jobs));
+    sentinel::util::set_default_jobs(0);
+    result.to_json().to_pretty_string()
+}
+
+#[test]
+fn zero_rate_injection_is_transparent_and_faulty_runs_are_deterministic() {
+    let id = "fig7";
+    // Pristine baseline: no fault environment at all.
+    std::env::remove_var("SENTINEL_FAULT_PROFILE");
+    std::env::remove_var("SENTINEL_FAULT_SEED");
+    let pristine = render(id, 1);
+    assert_eq!(pristine, render(id, 4), "{id}: pristine run varies with --jobs");
+
+    // An armed injector with the all-zero profile must not change a byte.
+    std::env::set_var("SENTINEL_FAULT_PROFILE", "off");
+    std::env::set_var("SENTINEL_FAULT_SEED", "42");
+    assert_eq!(
+        pristine,
+        render(id, 1),
+        "{id}: zero-rate injector changed the output (transparency broken)"
+    );
+    assert_eq!(
+        pristine,
+        render(id, 4),
+        "{id}: zero-rate injector changed the parallel output"
+    );
+
+    // Nonzero faults with a fixed seed: different from pristine (the faults
+    // are real) but byte-identical across job counts (the schedule is
+    // derived per run, not per thread).
+    std::env::set_var("SENTINEL_FAULT_PROFILE", "light");
+    std::env::set_var("SENTINEL_FAULT_SEED", "7");
+    let faulty_serial = render(id, 1);
+    let faulty_parallel = render(id, 4);
+    assert_eq!(
+        faulty_serial, faulty_parallel,
+        "{id}: seeded fault schedule varies with --jobs"
+    );
+    assert_ne!(
+        pristine, faulty_serial,
+        "{id}: the light profile injected no observable faults — suspicious"
+    );
+
+    // The chaos experiment only exists while a fault seed is set.
+    assert!(experiment_registry().iter().any(|(id, _)| *id == "chaos"));
+    std::env::remove_var("SENTINEL_FAULT_PROFILE");
+    std::env::remove_var("SENTINEL_FAULT_SEED");
+    assert!(!experiment_registry().iter().any(|(id, _)| *id == "chaos"));
+}
