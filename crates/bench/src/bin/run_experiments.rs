@@ -6,6 +6,7 @@
 //! cargo run -p sentinel-bench --release --bin run_experiments -- fig7    # one experiment
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --jobs 4  # 4 workers
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --fail-fast  # abort on error
+//! cargo run -p sentinel-bench --release --bin run_experiments -- --trace-dir traces fig7
 //! ```
 //!
 //! Writes `results/<id>.json` per experiment and assembles
@@ -19,6 +20,12 @@
 //! Setting `SENTINEL_FAULT_SEED` (and optionally `SENTINEL_FAULT_PROFILE`)
 //! arms deterministic fault injection in every Sentinel run and adds the
 //! `chaos` experiment to the registry; see DESIGN.md "Fault model".
+//!
+//! `--trace-dir DIR` records a structured trace of every Sentinel run into
+//! `DIR/<run>.trace.json` (Chrome `trace_event` format — load the files in
+//! `chrome://tracing` or <https://ui.perfetto.dev>). The flag implies
+//! `SENTINEL_TRACE=full` unless the variable is already set; see DESIGN.md
+//! "Trace schema".
 //!
 //! Independent experiments run concurrently on `--jobs N` workers
 //! (`SENTINEL_JOBS` honored, host parallelism by default, `--jobs 1` for
@@ -42,14 +49,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let trace_dir = match parse_trace_dir(&args) {
+        Ok(dir) => dir,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let filter: Vec<&String> = {
-        // Skip flag tokens and the value following a bare `--jobs`.
+        // Skip flag tokens and the value following a bare `--jobs` /
+        // `--trace-dir`.
         let mut filter = Vec::new();
         let mut skip_next = false;
         for a in &args {
             if skip_next {
                 skip_next = false;
-            } else if a == "--jobs" {
+            } else if a == "--jobs" || a == "--trace-dir" {
                 skip_next = true;
             } else if !a.starts_with("--") {
                 filter.push(a);
@@ -61,6 +76,16 @@ fn main() {
     // SwapAdvisor's GA, which runs deep inside `run_gpu_baseline`.
     sentinel_util::set_default_jobs(jobs);
     let cfg = ExpConfig::new(fast).with_jobs(jobs);
+
+    if let Some(dir) = &trace_dir {
+        // Must happen before the worker pool spawns: the harness reads both
+        // variables per run.
+        fs::create_dir_all(dir).expect("create trace dir");
+        std::env::set_var("SENTINEL_TRACE_DIR", dir);
+        if std::env::var("SENTINEL_TRACE").is_err() {
+            std::env::set_var("SENTINEL_TRACE", "full");
+        }
+    }
 
     fs::create_dir_all("results").expect("create results dir");
     let started = Instant::now();
@@ -178,6 +203,25 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "experiment panicked".to_owned()
     }
+}
+
+/// Parse `--trace-dir DIR` / `--trace-dir=DIR`.
+fn parse_trace_dir(args: &[String]) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let raw = if a == "--trace-dir" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = a.strip_prefix("--trace-dir=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return raw
+            .filter(|v| !v.is_empty() && !v.starts_with("--"))
+            .map(|v| Some(v.to_owned()))
+            .ok_or_else(|| "--trace-dir expects a directory path".to_owned());
+    }
+    Ok(None)
 }
 
 /// Parse `--jobs N` / `--jobs=N`, falling back to `SENTINEL_JOBS` and then

@@ -6,7 +6,7 @@
 //! fault activity next to the steady-state step time — the measured cost of
 //! the paper's "serve it from slow memory" degradation path.
 
-use crate::harness::{ExpConfig, ExpResult};
+use crate::harness::{traced, write_trace, ExpConfig, ExpResult};
 use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
 use sentinel_mem::HmConfig;
 use sentinel_models::ModelZoo;
@@ -54,10 +54,13 @@ pub fn chaos(cfg: &ExpConfig) -> ExpResult {
         let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
         for (name, profile) in &profiles {
             let key = format!("chaos|{spec:?}|{name}");
-            let outcome = SentinelRuntime::new(SentinelConfig::default(), hm.clone())
-                .with_fault_injection(*profile, derive_seed(seed, &key))
-                .train(&graph, cfg.steps())
-                .expect("chaos run completes");
+            let outcome = traced(
+                SentinelRuntime::new(SentinelConfig::default(), hm.clone())
+                    .with_fault_injection(*profile, derive_seed(seed, &key)),
+            )
+            .train(&graph, cfg.steps())
+            .expect("chaos run completes");
+            write_trace(&outcome, &key);
             let c = outcome.fault_counters;
             rows.push(ChaosRow {
                 model: spec.name(),

@@ -226,8 +226,18 @@ pub fn fig9(cfg: &ExpConfig) -> ExpResult {
             .position(|s| s.fast_bytes + s.slow_bytes > 0)
             .unwrap_or(0);
         let active = &tl.samples()[first_active..];
-        let fast: Vec<f64> = active.iter().map(|s| s.fast_bw(bucket)).collect();
-        let slow: Vec<f64> = active.iter().map(|s| s.slow_bw(bucket)).collect();
+        // Per-sample elapsed widths: the final bucket only spans up to the
+        // last recorded access, so its bandwidth uses the actual width.
+        let fast: Vec<f64> = active
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.fast_bw(tl.sample_width(first_active + i)))
+            .collect();
+        let slow: Vec<f64> = active
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.slow_bw(tl.sample_width(first_active + i)))
+            .collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         Series {
             policy: policy.to_owned(),

@@ -6,6 +6,7 @@ use sentinel_dnn::{ExecError, TrainReport};
 use sentinel_mem::HmConfig;
 use sentinel_models::{ModelSpec, ModelZoo};
 use sentinel_util::fault::{derive_seed, fault_env};
+use sentinel_util::trace::trace_env;
 use sentinel_util::{Json, Pool, ToJson};
 
 /// Global experiment configuration.
@@ -177,6 +178,38 @@ fn armed(runtime: SentinelRuntime, key: &str) -> SentinelRuntime {
     }
 }
 
+/// Arm `runtime` with the environment's trace level (`SENTINEL_TRACE`).
+/// Like [`armed`], a malformed spec is a hard error.
+pub(crate) fn traced(runtime: SentinelRuntime) -> SentinelRuntime {
+    match trace_env() {
+        Ok(level) => runtime.with_trace(level),
+        Err(e) => panic!("invalid tracing environment: {e}"),
+    }
+}
+
+/// Write the run's trace (if one was recorded and `SENTINEL_TRACE_DIR` is
+/// set) as `<slug>-<hash>.trace.json` in the Chrome `trace_event` format.
+/// The name is a pure function of the run `key`, so file sets are identical
+/// at any `--jobs` count.
+pub(crate) fn write_trace(outcome: &SentinelOutcome, key: &str) {
+    let (Some(trace), Ok(dir)) = (outcome.trace.as_ref(), std::env::var("SENTINEL_TRACE_DIR"))
+    else {
+        return;
+    };
+    let mut slug: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    slug.truncate(60);
+    let slug = slug.trim_matches('-');
+    let name = format!("{slug}-{:016x}.trace.json", derive_seed(0, key));
+    let path = std::path::Path::new(&dir).join(name);
+    let text = trace.to_chrome_json().to_pretty_string();
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: failed to write trace {}: {e}", path.display());
+    }
+}
+
 /// Run Sentinel (CPU flavour) at the given fast fraction.
 pub fn run_sentinel(
     spec: &ModelSpec,
@@ -186,7 +219,10 @@ pub fn run_sentinel(
     let graph = ModelZoo::build(spec).expect("model builds");
     let hm = fast_sized_for(HmConfig::optane_like(), &graph, fraction);
     let key = format!("cpu|{spec:?}|{fraction}|{steps}");
-    armed(SentinelRuntime::new(SentinelConfig::default(), hm), &key).train(&graph, steps)
+    let outcome =
+        traced(armed(SentinelRuntime::new(SentinelConfig::default(), hm), &key)).train(&graph, steps)?;
+    write_trace(&outcome, &key);
+    Ok(outcome)
 }
 
 /// Run Sentinel with an explicit configuration and platform.
@@ -200,7 +236,9 @@ pub fn run_sentinel_with(
     let graph = ModelZoo::build(spec).expect("model builds");
     let hm = fast_sized_for(hm, &graph, fraction);
     let key = format!("with|{spec:?}|{cfg:?}|{fraction}|{steps}");
-    armed(SentinelRuntime::new(cfg, hm), &key).train(&graph, steps)
+    let outcome = traced(armed(SentinelRuntime::new(cfg, hm), &key)).train(&graph, steps)?;
+    write_trace(&outcome, &key);
+    Ok(outcome)
 }
 
 /// Run a baseline at the given fast fraction on the Optane platform.

@@ -11,10 +11,11 @@ use crate::config::{Case3Policy, SentinelConfig};
 use crate::interval::{solve_mil, IntervalPlan, MilSolution};
 use crate::reorg::ReorgPlan;
 use crate::schedule::Schedule;
-use sentinel_dnn::{ExecCtx, MemoryManager, PoolSpec, Tensor, TensorId};
-use sentinel_mem::{pages_for_bytes, Ns, PageRange, SanitizerMode, Tier};
+use sentinel_dnn::{ExecCtx, IntervalRecord, MemoryManager, PoolSpec, Tensor, TensorId};
+use sentinel_mem::{pages_for_bytes, Ns, PageRange, SanitizerMode, Tier, TraceTrack};
 use sentinel_profiler::{ProfileReport, TensorProfile};
-use std::collections::HashMap;
+use sentinel_util::Json;
+use std::collections::{HashMap, HashSet};
 
 /// Counters describing one Sentinel run (Table III / IV material).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,6 +84,19 @@ impl Case3State {
     }
 }
 
+/// An interval ledger record still being accumulated: the record plus the
+/// counter values snapshotted when it opened, so closing it can turn the
+/// monotone run-level counters into per-interval deltas.
+#[derive(Debug, Clone)]
+struct OpenInterval {
+    rec: IntervalRecord,
+    promoted0: u64,
+    demoted0: u64,
+    retries0: u64,
+    abandoned0: u64,
+    stall_case3_0: Ns,
+}
+
 /// The Sentinel runtime as a [`MemoryManager`] policy.
 #[derive(Debug)]
 pub struct SentinelPolicy {
@@ -116,6 +130,14 @@ pub struct SentinelPolicy {
     trial_step_flag: bool,
     current_layer_hint: usize,
     stats: SentinelStats,
+    // Interval-ledger state, maintained only while the memory system's
+    // tracer is enabled (the ledger feeds the step report and the trace).
+    ledger: Vec<IntervalRecord>,
+    open_interval: Option<OpenInterval>,
+    /// Intervals whose prefetch was blocked by space before they opened
+    /// (lookahead prefetch targets the *next* interval), pending Case-2
+    /// classification.
+    case2_pending: HashSet<usize>,
 }
 
 impl SentinelPolicy {
@@ -143,6 +165,9 @@ impl SentinelPolicy {
             trial_step_flag: false,
             current_layer_hint: 0,
             stats: SentinelStats::default(),
+            ledger: Vec::new(),
+            open_interval: None,
+            case2_pending: HashSet::new(),
         }
     }
 
@@ -237,6 +262,16 @@ impl SentinelPolicy {
         }
         if blocked {
             self.stats.case2_events += 1;
+            if ctx.mem().tracer().enabled() {
+                ctx.mem().tracer().instant(
+                    TraceTrack::Intervals,
+                    "interval",
+                    "prefetch_blocked",
+                    ctx.now(),
+                    vec![("interval", Json::U64(k as u64))],
+                );
+                self.ledger_mark_case2(k);
+            }
         }
     }
 
@@ -248,6 +283,21 @@ impl SentinelPolicy {
             return; // Case 1: everything landed in time.
         }
         self.stats.case3_events += 1;
+        if ctx.mem().tracer().enabled() {
+            ctx.mem().tracer().instant(
+                TraceTrack::Intervals,
+                "interval",
+                "case3",
+                ctx.now(),
+                vec![
+                    ("interval", Json::U64(k as u64)),
+                    ("pending_until", Json::U64(ready)),
+                ],
+            );
+            if let Some(open) = self.open_interval.as_mut() {
+                open.rec.case = 3;
+            }
+        }
         let choice = match self.cfg.case3 {
             Case3Policy::DemandWait => return, // per-tensor waits in before_access
             Case3Policy::AlwaysWait => (Choice::Wait, false),
@@ -260,6 +310,12 @@ impl SentinelPolicy {
         let (choice, is_trial) = choice;
         if is_trial {
             self.trial_step_flag = true;
+        }
+        if let Some(open) = self.open_interval.as_mut() {
+            open.rec.choice = match choice {
+                Choice::Wait => "wait".to_owned(),
+                Choice::Leave => "leave".to_owned(),
+            };
         }
         match choice {
             Choice::Wait => {
@@ -352,6 +408,95 @@ impl SentinelPolicy {
         }
         if let Some(ready) = latest {
             ctx.stall_until(ready);
+        }
+    }
+
+    // ----------------------------------------------------- interval ledger
+
+    /// Close the open ledger record against the current counter values,
+    /// emit its trace span and push it onto the step ledger. Counter deltas
+    /// are exact because records are opened and closed at the same program
+    /// points (interval boundaries and the step's final poll), so per-step
+    /// ledger sums reconcile with the step report's own counter deltas.
+    fn ledger_close(&mut self, ctx: &ExecCtx<'_>) {
+        let Some(mut open) = self.open_interval.take() else { return };
+        let stats = ctx.mem().stats();
+        let faults = ctx.mem().fault_counters();
+        open.rec.end_ns = ctx.now();
+        open.rec.promoted_bytes = stats.promoted_bytes - open.promoted0;
+        open.rec.demoted_bytes = stats.demoted_bytes - open.demoted0;
+        open.rec.migration_retries = faults.migration_retries - open.retries0;
+        open.rec.abandoned_migrations = faults.abandoned_migrations - open.abandoned0;
+        open.rec.stall_case3_ns = self.stats.stall_case3_ns - open.stall_case3_0;
+        let rec = open.rec;
+        ctx.mem().tracer().span(
+            TraceTrack::Intervals,
+            "interval",
+            format!("interval {}", rec.interval),
+            rec.start_ns,
+            rec.end_ns.saturating_sub(rec.start_ns),
+            vec![
+                ("interval", Json::U64(rec.interval as u64)),
+                ("case", Json::U64(u64::from(rec.case))),
+                ("choice", Json::Str(rec.choice.clone())),
+                ("promoted_bytes", Json::U64(rec.promoted_bytes)),
+                ("demoted_bytes", Json::U64(rec.demoted_bytes)),
+                ("migration_retries", Json::U64(rec.migration_retries)),
+                ("abandoned_migrations", Json::U64(rec.abandoned_migrations)),
+                ("stall_case3_ns", Json::U64(rec.stall_case3_ns)),
+            ],
+        );
+        self.ledger.push(rec);
+    }
+
+    /// Open a ledger record for interval `k` starting now. The caller has
+    /// just closed the previous record at the same instant, so coverage of
+    /// a managed step is contiguous from layer 0 to the step's final poll.
+    fn ledger_open(&mut self, k: usize, ctx: &ExecCtx<'_>) {
+        let Some(plan) = self.plan.as_ref() else { return };
+        let stats = ctx.mem().stats();
+        let faults = ctx.mem().fault_counters();
+        // A lookahead prefetch for this interval may have been blocked for
+        // space while the previous interval was still open (Case 2).
+        let case = if self.case2_pending.remove(&k) { 2 } else { 1 };
+        self.open_interval = Some(OpenInterval {
+            rec: IntervalRecord {
+                interval: k,
+                start_layer: plan.start_layer(k),
+                end_layer: plan.end_layer(k),
+                case,
+                choice: String::new(),
+                start_ns: ctx.now(),
+                end_ns: ctx.now(),
+                promoted_bytes: 0,
+                demoted_bytes: 0,
+                migration_retries: 0,
+                abandoned_migrations: 0,
+                stall_case3_ns: 0,
+            },
+            promoted0: stats.promoted_bytes,
+            demoted0: stats.demoted_bytes,
+            retries0: faults.migration_retries,
+            abandoned0: faults.abandoned_migrations,
+            stall_case3_0: self.stats.stall_case3_ns,
+        });
+    }
+
+    /// Mark the ledger consequence of a space-blocked prefetch for
+    /// (normalized) interval `target`: Case 2 on the open record if it is
+    /// the target, otherwise pending for when the target opens.
+    fn ledger_mark_case2(&mut self, target: usize) {
+        match self.open_interval.as_mut() {
+            Some(open) if open.rec.interval == target => {
+                // Case 3 outranks Case 2 (the interval already started
+                // while migrations were in flight).
+                if open.rec.case == 1 {
+                    open.rec.case = 2;
+                }
+            }
+            _ => {
+                self.case2_pending.insert(target);
+            }
         }
     }
 
@@ -643,6 +788,13 @@ impl MemoryManager for SentinelPolicy {
         }
         let k = plan.interval_of(layer);
         let lookahead = self.cfg.lookahead;
+        if ctx.mem().tracer().enabled() {
+            // Close the previous record and open the new one against the
+            // same pre-poll counter snapshot, so the ledger stays contiguous
+            // (completions applied by the poll below land in the new record).
+            self.ledger_close(ctx);
+            self.ledger_open(k, ctx);
+        }
         self.close_interval_measurement(ctx.now());
         ctx.poll();
         self.interval_mark = Some((k, ctx.now(), None));
@@ -707,6 +859,15 @@ impl MemoryManager for SentinelPolicy {
         if self.trial_step_flag {
             self.stats.trial_steps += 1;
         }
+    }
+
+    fn step_ledger(&mut self, ctx: &ExecCtx<'_>) -> Vec<IntervalRecord> {
+        // Close the tail record against the post-step counters (the
+        // executor calls this after the step's final poll, before its
+        // stats snapshot) and hand the step's records over. A blocked
+        // lookahead prefetch for next step's first interval stays pending.
+        self.ledger_close(ctx);
+        std::mem::take(&mut self.ledger)
     }
 }
 

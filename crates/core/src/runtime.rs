@@ -5,7 +5,10 @@ use crate::error::SentinelError;
 use crate::interval::MilSolution;
 use crate::policy::{SentinelPolicy, SentinelStats};
 use sentinel_dnn::{Executor, Graph, TrainReport};
-use sentinel_mem::{FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode};
+use sentinel_mem::{
+    FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode, Trace,
+    TraceHandle, TraceLevel,
+};
 use sentinel_profiler::ProfileReport;
 
 /// Size the fast tier of `cfg` to `fraction` of the model's peak memory
@@ -34,6 +37,9 @@ pub struct SentinelOutcome {
     /// Fault-injection activity over the whole run (all zero on pristine
     /// runs; see [`SentinelRuntime::with_fault_injection`]).
     pub fault_counters: FaultCounters,
+    /// The structured trace, if recording was enabled with
+    /// [`SentinelRuntime::with_trace`] (`None` otherwise).
+    pub trace: Option<Trace>,
 }
 
 /// Convenience wrapper running the full Sentinel pipeline.
@@ -59,13 +65,14 @@ pub struct SentinelRuntime {
     hm: HmConfig,
     fault: Option<(FaultProfile, u64)>,
     sanitizer: Option<SanitizerMode>,
+    trace: TraceLevel,
 }
 
 impl SentinelRuntime {
     /// Build a runtime for the given Sentinel configuration and platform.
     #[must_use]
     pub fn new(cfg: SentinelConfig, hm: HmConfig) -> Self {
-        SentinelRuntime { cfg, hm, fault: None, sanitizer: None }
+        SentinelRuntime { cfg, hm, fault: None, sanitizer: None, trace: TraceLevel::Off }
     }
 
     /// Install a deterministic fault injector for every run: the memory
@@ -82,6 +89,16 @@ impl SentinelRuntime {
     #[must_use]
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = Some(mode);
+        self
+    }
+
+    /// Record a structured trace of every run at `level` (the default is
+    /// [`TraceLevel::Off`]); the drained trace is returned in
+    /// [`SentinelOutcome::trace`]. All timestamps are simulated, so the
+    /// trace is a pure function of the run.
+    #[must_use]
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
         self
     }
 
@@ -107,6 +124,9 @@ impl SentinelRuntime {
         if let Some(mode) = self.sanitizer {
             mem.set_sanitizer_mode(mode);
         }
+        if self.trace != TraceLevel::Off {
+            mem.set_tracer(TraceHandle::new(self.trace));
+        }
         let mut exec = Executor::new(graph, mem);
         let mut policy = SentinelPolicy::new(self.cfg.clone());
         let report = exec.run(&mut policy, steps)?;
@@ -119,6 +139,7 @@ impl SentinelRuntime {
             mil_solution: policy.mil_solution().cloned(),
             profile: policy.profile().cloned(),
             fault_counters: exec.ctx().mem().fault_counters(),
+            trace: exec.ctx().mem().tracer().take(),
             report,
         })
     }
@@ -209,6 +230,65 @@ mod tests {
         // of short-lived tensors — proxy: reserve pages are configured.
         assert!(policy.stats().reserve_pages > 0);
         let _ = exec.ctx().mem().used_pages(Tier::Fast);
+    }
+
+    #[test]
+    fn tracing_records_steps_and_reconciles_the_interval_ledger() {
+        let g = graph();
+        let hm = fast_sized_for(optane(), &g, 0.2);
+        let runtime = SentinelRuntime::new(SentinelConfig::default(), hm);
+
+        let traced = runtime.clone().with_trace(TraceLevel::Full).train(&g, 6).unwrap();
+        let trace = traced.trace.as_ref().expect("trace recorded");
+        assert!(trace.events.iter().any(|e| e.name.starts_with("step ")));
+        assert!(trace.events.iter().any(|e| e.name.starts_with("interval ")));
+        assert!(trace.events.iter().any(|e| e.name == "issue"));
+        assert!(trace.events.iter().any(|e| e.name == "complete"));
+
+        // Per-step ledger sums reconcile exactly with the step's own
+        // counter deltas, and records tile the managed steps.
+        let mut saw_ledger = false;
+        for s in &traced.report.steps {
+            if s.intervals.is_empty() {
+                continue;
+            }
+            saw_ledger = true;
+            let promoted: u64 = s.intervals.iter().map(|r| r.promoted_bytes).sum();
+            let demoted: u64 = s.intervals.iter().map(|r| r.demoted_bytes).sum();
+            assert_eq!(promoted, s.promoted_bytes, "step {}", s.step);
+            assert_eq!(demoted, s.demoted_bytes, "step {}", s.step);
+            for w in s.intervals.windows(2) {
+                assert_eq!(w[0].end_ns, w[1].start_ns, "ledger gap in step {}", s.step);
+            }
+            for r in &s.intervals {
+                assert!(matches!(r.case, 1..=3), "bad case {} in step {}", r.case, s.step);
+            }
+        }
+        assert!(saw_ledger, "managed steps should carry an interval ledger");
+
+        // Tracing must not perturb the simulation itself.
+        let plain = runtime.train(&g, 6).unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.report.steps.iter().map(|s| s.duration_ns).collect::<Vec<_>>(),
+                   traced.report.steps.iter().map(|s| s.duration_ns).collect::<Vec<_>>());
+        assert_eq!(plain.report.steady_step_ns(), traced.report.steady_step_ns());
+
+        // Under fault injection the ledger also reconciles the retry and
+        // abandonment counters with the step's FaultCounters delta.
+        let faulty = runtime
+            .with_fault_injection(FaultProfile::heavy(), 7)
+            .with_trace(TraceLevel::Summary)
+            .train(&g, 6)
+            .unwrap();
+        assert!(faulty.fault_counters.migration_retries > 0, "heavy profile injected nothing");
+        for s in &faulty.report.steps {
+            let retries: u64 = s.intervals.iter().map(|r| r.migration_retries).sum();
+            let abandoned: u64 = s.intervals.iter().map(|r| r.abandoned_migrations).sum();
+            if !s.intervals.is_empty() {
+                assert_eq!(retries, s.fault.migration_retries, "step {}", s.step);
+                assert_eq!(abandoned, s.fault.abandoned_migrations, "step {}", s.step);
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::graph::Graph;
 use crate::manager::MemoryManager;
 use crate::report::{StepReport, TrainReport};
 use crate::tensor::{OpRef, TensorId};
-use sentinel_mem::{AccessKind, MemError, MemorySystem, Tier};
+use sentinel_mem::{AccessKind, MemError, MemorySystem, Tier, TraceTrack};
+use sentinel_util::Json;
 
 /// Number of allocation retries after capacity-pressure handling before the
 /// executor overflows to the other tier.
@@ -126,9 +127,11 @@ impl<'g> Executor<'g> {
         let stats_before = self.ctx.mem().stats().clone();
         let faults_before = self.ctx.mem().fault_counters();
 
+        let tracer = self.ctx.mem().tracer().clone();
         policy.on_step_begin(&mut self.ctx);
         let num_layers = self.ctx.graph().num_layers();
         for li in 0..num_layers {
+            let layer_start_ns = self.ctx.now();
             policy.before_layer(li, &mut self.ctx);
             let num_ops = self.ctx.graph().layers()[li].ops.len();
             for oi in 0..num_ops {
@@ -136,11 +139,36 @@ impl<'g> Executor<'g> {
                 self.run_op(policy, at)?;
             }
             policy.after_layer(li, &mut self.ctx);
+            if tracer.full() {
+                tracer.span(
+                    TraceTrack::Steps,
+                    "exec",
+                    self.ctx.graph().layers()[li].name.clone(),
+                    layer_start_ns,
+                    self.ctx.now() - layer_start_ns,
+                    vec![("layer", Json::U64(li as u64))],
+                );
+            }
         }
         policy.on_step_end(&mut self.ctx);
         self.ctx.poll();
         if let Some(violation) = self.ctx.mem().sanitizer_violation() {
             return Err(ExecError::Mem(violation.clone()));
+        }
+        // Drained after the final poll so the ledger's last record covers
+        // completions applied there, and before the stats snapshot below so
+        // per-step ledger sums reconcile with the report deltas exactly.
+        let intervals =
+            if tracer.enabled() { policy.step_ledger(&self.ctx) } else { Vec::new() };
+        if tracer.enabled() {
+            tracer.span(
+                TraceTrack::Steps,
+                "exec",
+                format!("step {step}"),
+                start_ns,
+                self.ctx.now() - start_ns,
+                vec![("step", Json::U64(step as u64))],
+            );
         }
 
         self.steps_run += 1;
@@ -161,6 +189,7 @@ impl<'g> Executor<'g> {
             peak_total_pages: stats_after.peak_mapped_pages[Tier::Fast.index()]
                 + stats_after.peak_mapped_pages[Tier::Slow.index()],
             fault: self.ctx.mem().fault_counters().delta(&faults_before),
+            intervals,
         })
     }
 

@@ -41,5 +41,5 @@ pub use executor::Executor;
 pub use graph::{Graph, GraphBuilder, Layer, OpBuilder};
 pub use manager::{MemoryManager, SingleTier};
 pub use op::{Op, OpKind, Operand};
-pub use report::{StepBreakdown, StepReport, TrainReport};
+pub use report::{IntervalRecord, StepBreakdown, StepReport, TrainReport};
 pub use tensor::{OpRef, Tensor, TensorId, TensorKind};

@@ -71,6 +71,16 @@ pub trait MemoryManager {
     /// Called at the end of every training step.
     fn on_step_end(&mut self, ctx: &mut ExecCtx<'_>) {}
 
+    /// Drain the per-interval migration ledger for the step that just
+    /// ended. Invoked by the executor only while tracing is enabled, after
+    /// the step's final poll and before its stats snapshot, so a
+    /// ledger-keeping policy can close its last open interval against the
+    /// final counter values. Policies that do not track intervals (every
+    /// baseline) keep the empty default.
+    fn step_ledger(&mut self, ctx: &ExecCtx<'_>) -> Vec<crate::IntervalRecord> {
+        Vec::new()
+    }
+
     /// Called once after the last step.
     fn on_train_end(&mut self, ctx: &mut ExecCtx<'_>) {}
 }

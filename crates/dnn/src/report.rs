@@ -26,8 +26,42 @@ impl StepBreakdown {
     }
 }
 
+/// One migration interval of a managed step, as recorded by a policy's
+/// interval ledger (see [`crate::MemoryManager::step_ledger`]). Records
+/// partition the step end-to-end, so summing any counter column over a
+/// step's ledger reproduces the step-level delta exactly — the property
+/// `tests/trace_transparency.rs` checks against [`StepReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// Interval index within the step.
+    pub interval: usize,
+    /// First layer of the interval.
+    pub start_layer: usize,
+    /// One past the last layer of the interval.
+    pub end_layer: usize,
+    /// End-of-interval outcome: 1 (prefetch landed), 2 (prefetch blocked
+    /// by space) or 3 (interval began before its prefetch completed).
+    pub case: u8,
+    /// Case 3 resolution (`"wait"` or `"leave"`, empty otherwise).
+    pub choice: String,
+    /// Interval start, simulated time.
+    pub start_ns: Ns,
+    /// Interval end, simulated time.
+    pub end_ns: Ns,
+    /// Bytes migrated slow→fast that completed during the interval.
+    pub promoted_bytes: u64,
+    /// Bytes migrated fast→slow that completed during the interval.
+    pub demoted_bytes: u64,
+    /// Injected migration failures retried during the interval.
+    pub migration_retries: u64,
+    /// Migrations abandoned after exhausting retries during the interval.
+    pub abandoned_migrations: u64,
+    /// Time stalled on the Case 3 "wait" branch during the interval.
+    pub stall_case3_ns: Ns,
+}
+
 /// Outcome of one training step.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepReport {
     /// Step index (0-based).
     pub step: usize,
@@ -51,6 +85,9 @@ pub struct StepReport {
     pub peak_total_pages: u64,
     /// Fault-injection activity during the step (all zero on pristine runs).
     pub fault: FaultCounters,
+    /// Per-interval migration ledger (empty unless tracing was enabled and
+    /// the policy tracks intervals).
+    pub intervals: Vec<IntervalRecord>,
 }
 
 impl StepReport {
@@ -114,6 +151,15 @@ impl TrainReport {
     }
 
     /// Mean steady-state breakdown.
+    ///
+    /// The four components of [`StepBreakdown::total_ns`] are summed first
+    /// and the truncated mean of the *total* is distributed over them by
+    /// largest remainder (ties broken in field order), so
+    /// `steady_breakdown().total_ns()` always equals the truncated mean of
+    /// the per-step totals — in particular it agrees with
+    /// [`steady_step_ns`](Self::steady_step_ns) whenever each step's
+    /// `duration_ns` matches its breakdown, as executor-produced steps do.
+    /// Truncating each field independently could fall short by up to 3 ns.
     #[must_use]
     pub fn steady_breakdown(&self) -> StepBreakdown {
         if self.steps.is_empty() {
@@ -121,20 +167,35 @@ impl TrainReport {
         }
         let tail = &self.steps[self.steps.len() / 2..];
         let n = tail.len() as u64;
-        let mut acc = StepBreakdown::default();
+        let mut sums = [0u64; 4];
+        let mut fault_sum = 0u64;
         for s in tail {
-            acc.compute_ns += s.breakdown.compute_ns;
-            acc.memory_ns += s.breakdown.memory_ns;
-            acc.stall_ns += s.breakdown.stall_ns;
-            acc.recompute_ns += s.breakdown.recompute_ns;
-            acc.profiling_fault_ns += s.breakdown.profiling_fault_ns;
+            sums[0] += s.breakdown.compute_ns;
+            sums[1] += s.breakdown.memory_ns;
+            sums[2] += s.breakdown.stall_ns;
+            sums[3] += s.breakdown.recompute_ns;
+            fault_sum += s.breakdown.profiling_fault_ns;
+        }
+        let mut means = [0u64; 4];
+        let mut rems = [0u64; 4];
+        for i in 0..4 {
+            means[i] = sums[i] / n;
+            rems[i] = sums[i] % n;
+        }
+        let extra = sums.iter().sum::<u64>() / n - means.iter().sum::<u64>();
+        let mut order = [0usize, 1, 2, 3];
+        order.sort_by(|&a, &b| rems[b].cmp(&rems[a]));
+        for &i in order.iter().take(extra as usize) {
+            means[i] += 1;
         }
         StepBreakdown {
-            compute_ns: acc.compute_ns / n,
-            memory_ns: acc.memory_ns / n,
-            stall_ns: acc.stall_ns / n,
-            recompute_ns: acc.recompute_ns / n,
-            profiling_fault_ns: acc.profiling_fault_ns / n,
+            compute_ns: means[0],
+            memory_ns: means[1],
+            stall_ns: means[2],
+            recompute_ns: means[3],
+            // Not a component of `total_ns` (it is a portion of
+            // `memory_ns`), so it keeps its independent truncated mean.
+            profiling_fault_ns: fault_sum / n,
         }
     }
 
@@ -202,6 +263,62 @@ mod tests {
     }
 
     #[test]
+    fn steady_breakdown_total_matches_steady_step_on_awkward_tails() {
+        // Steps whose duration equals their breakdown total (as the
+        // executor guarantees), with component values chosen so that
+        // truncating each field independently loses nanoseconds.
+        for steps in [3usize, 5, 6, 7, 9, 13] {
+            let r = TrainReport {
+                model: "m".into(),
+                policy: "p".into(),
+                batch: 1,
+                steps: (0..steps)
+                    .map(|i| {
+                        let breakdown = StepBreakdown {
+                            compute_ns: 101 + i as Ns,
+                            memory_ns: 53 + 2 * i as Ns,
+                            stall_ns: 31 + 3 * i as Ns,
+                            recompute_ns: 17 + 5 * i as Ns,
+                            profiling_fault_ns: 7,
+                        };
+                        StepReport {
+                            step: i,
+                            duration_ns: breakdown.total_ns(),
+                            breakdown,
+                            ..StepReport::default()
+                        }
+                    })
+                    .collect(),
+            };
+            let b = r.steady_breakdown();
+            assert_eq!(
+                b.total_ns(),
+                r.steady_step_ns(),
+                "tail of {steps} steps: breakdown mean disagrees with step mean"
+            );
+            // Remainder distribution never moves a component by more than 1.
+            let tail = &r.steps[r.steps.len() / 2..];
+            let n = tail.len() as Ns;
+            let floor = tail.iter().map(|s| s.breakdown.compute_ns).sum::<Ns>() / n;
+            assert!(b.compute_ns == floor || b.compute_ns == floor + 1);
+        }
+    }
+
+    #[test]
+    fn interval_ledger_serializes_only_when_present() {
+        let pristine = StepReport::default().to_json();
+        assert!(pristine.get("intervals").is_none());
+        let mut s = StepReport::default();
+        s.intervals.push(IntervalRecord { interval: 0, case: 1, ..IntervalRecord::default() });
+        let j = s.to_json();
+        let rows = match j.get("intervals") {
+            Some(Json::Arr(rows)) => rows,
+            other => panic!("ledger not serialized as an array: {other:?}"),
+        };
+        assert_eq!(rows[0].get("case"), Some(&Json::U64(1)));
+    }
+
+    #[test]
     fn fault_counters_serialize_only_when_active() {
         let pristine = StepReport::default().to_json();
         assert!(pristine.get("fault").is_none());
@@ -220,10 +337,26 @@ sentinel_util::impl_to_json!(StepBreakdown {
     profiling_fault_ns,
 });
 
+sentinel_util::impl_to_json!(IntervalRecord {
+    interval,
+    start_layer,
+    end_layer,
+    case,
+    choice,
+    start_ns,
+    end_ns,
+    promoted_bytes,
+    demoted_bytes,
+    migration_retries,
+    abandoned_migrations,
+    stall_case3_ns,
+});
+
 // Hand-written (not `impl_to_json!`) so pristine runs keep the exact
 // historical serialization: the `fault` member is emitted only when any
-// counter is nonzero, leaving fault-free `results/*.json` byte-identical
-// to builds that predate fault injection.
+// counter is nonzero and the `intervals` ledger only when non-empty,
+// leaving fault-free, trace-free `results/*.json` byte-identical to
+// builds that predate fault injection and tracing.
 impl ToJson for StepReport {
     fn to_json(&self) -> Json {
         let mut members: Vec<(&str, Json)> = vec![
@@ -240,6 +373,9 @@ impl ToJson for StepReport {
         ];
         if !self.fault.is_zero() {
             members.push(("fault", self.fault.to_json()));
+        }
+        if !self.intervals.is_empty() {
+            members.push(("intervals", self.intervals.to_json()));
         }
         Json::obj(members)
     }

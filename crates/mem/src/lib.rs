@@ -73,6 +73,8 @@ pub use system::{AccessKind, AccessReport, MemorySystem, RetryPolicy, SanitizerM
 // Re-exported so the fault hooks' types are nameable without a direct
 // sentinel-util dependency.
 pub use sentinel_util::fault::{FaultCounters, FaultInjector, FaultProfile};
+// Likewise for the structured-trace hooks.
+pub use sentinel_util::trace::{Trace, TraceHandle, TraceLevel, TraceTrack};
 pub use table::{PageState, PageTable, Pte, PteRun, PteRuns};
 pub use tier::Tier;
 

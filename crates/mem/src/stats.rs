@@ -18,23 +18,36 @@ pub struct BandwidthSample {
 }
 
 impl BandwidthSample {
-    /// Fast-memory bandwidth over the bucket, in bytes/ns (== GB/s).
+    /// Fast-memory bandwidth over an elapsed width, in bytes/ns (== GB/s).
+    ///
+    /// Pass [`StatsTimeline::sample_width`] for the sample, not the raw
+    /// bucket width: the final bucket of a run only spans up to the last
+    /// recorded time. `width_ns` must be positive ([`StatsTimeline::new`]
+    /// rejects zero bucket widths and `sample_width` never returns zero).
     #[must_use]
-    pub fn fast_bw(&self, bucket_ns: Ns) -> f64 {
-        self.fast_bytes as f64 / bucket_ns.max(1) as f64
+    pub fn fast_bw(&self, width_ns: Ns) -> f64 {
+        self.fast_bytes as f64 / width_ns as f64
     }
 
-    /// Slow-memory bandwidth over the bucket, in bytes/ns (== GB/s).
+    /// Slow-memory bandwidth over an elapsed width, in bytes/ns (== GB/s).
     #[must_use]
-    pub fn slow_bw(&self, bucket_ns: Ns) -> f64 {
-        self.slow_bytes as f64 / bucket_ns.max(1) as f64
+    pub fn slow_bw(&self, width_ns: Ns) -> f64 {
+        self.slow_bytes as f64 / width_ns as f64
     }
 }
 
 /// Bytes-per-tier bucketed over simulated time.
+///
+/// Storage is offset-based: `buckets[0]` holds bucket index `origin`, and
+/// the vector stays dense only across the *touched* span of the run. A
+/// single record at a huge timestamp costs one bucket, not `O(time)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsTimeline {
     bucket_ns: Ns,
+    /// Bucket index of `buckets[0]` (meaningless while `buckets` is empty).
+    origin: u64,
+    /// Latest time recorded, bounding the final sample's elapsed width.
+    last_ns: Ns,
     buckets: Vec<BandwidthSample>,
 }
 
@@ -47,22 +60,50 @@ impl StatsTimeline {
     #[must_use]
     pub fn new(bucket_ns: Ns) -> Self {
         assert!(bucket_ns > 0, "bucket width must be positive");
-        StatsTimeline { bucket_ns, buckets: Vec::new() }
+        StatsTimeline { bucket_ns, origin: 0, last_ns: 0, buckets: Vec::new() }
+    }
+
+    /// Start time of the bucket at absolute `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the start time overflows the nanosecond clock (unreachable
+    /// for indices derived from a real `now`, which is where they all come
+    /// from, but checked rather than silently wrapped).
+    fn bucket_start(&self, index: u64) -> Ns {
+        index.checked_mul(self.bucket_ns).expect("bucket start time overflows the ns clock")
     }
 
     /// Record `bytes` of traffic against `tier` at time `now`.
     pub fn record(&mut self, tier: Tier, bytes: u64, now: Ns) {
-        let idx = (now / self.bucket_ns) as usize;
-        if idx >= self.buckets.len() {
-            let old = self.buckets.len();
-            self.buckets.resize(idx + 1, BandwidthSample::default());
-            for (i, b) in self.buckets.iter_mut().enumerate().skip(old) {
-                b.start_ns = i as Ns * self.bucket_ns;
+        let idx = now / self.bucket_ns;
+        self.last_ns = self.last_ns.max(now);
+        if self.buckets.is_empty() {
+            self.origin = idx;
+            self.buckets
+                .push(BandwidthSample { start_ns: self.bucket_start(idx), ..Default::default() });
+        } else if idx < self.origin {
+            // Migration completions are recorded at their ready time, which
+            // can precede traffic already recorded at poll time — extend the
+            // dense span backwards.
+            let mut front: Vec<BandwidthSample> = (idx..self.origin)
+                .map(|i| BandwidthSample { start_ns: self.bucket_start(i), ..Default::default() })
+                .collect();
+            front.append(&mut self.buckets);
+            self.buckets = front;
+            self.origin = idx;
+        } else {
+            for i in self.origin + self.buckets.len() as u64..=idx {
+                self.buckets.push(BandwidthSample {
+                    start_ns: self.bucket_start(i),
+                    ..Default::default()
+                });
             }
         }
+        let slot = (idx - self.origin) as usize;
         match tier {
-            Tier::Fast => self.buckets[idx].fast_bytes += bytes,
-            Tier::Slow => self.buckets[idx].slow_bytes += bytes,
+            Tier::Fast => self.buckets[slot].fast_bytes += bytes,
+            Tier::Slow => self.buckets[slot].slow_bytes += bytes,
         }
     }
 
@@ -76,6 +117,23 @@ impl StatsTimeline {
     #[must_use]
     pub fn samples(&self) -> &[BandwidthSample] {
         &self.buckets
+    }
+
+    /// Elapsed width of the sample at `index` in `samples()` order: the full
+    /// bucket width for every bucket except the last, which only spans from
+    /// its start to the latest recorded time. Always positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn sample_width(&self, index: usize) -> Ns {
+        let sample = &self.buckets[index];
+        if index + 1 == self.buckets.len() {
+            (self.last_ns - sample.start_ns + 1).min(self.bucket_ns)
+        } else {
+            self.bucket_ns
+        }
     }
 }
 
@@ -150,6 +208,45 @@ mod tests {
     #[should_panic(expected = "bucket width must be positive")]
     fn zero_bucket_panics() {
         let _ = StatsTimeline::new(0);
+    }
+
+    #[test]
+    fn late_first_record_costs_one_bucket() {
+        let mut t = StatsTimeline::new(100);
+        t.record(Tier::Fast, 8, 1 << 60);
+        let s = t.samples();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].start_ns, ((1u64 << 60) / 100) * 100);
+        assert_eq!(s[0].fast_bytes, 8);
+    }
+
+    #[test]
+    fn backward_record_extends_the_front_densely() {
+        let mut t = StatsTimeline::new(100);
+        t.record(Tier::Fast, 10, 550);
+        t.record(Tier::Slow, 3, 210);
+        let s = t.samples();
+        assert_eq!(s.len(), 4);
+        for (i, sample) in s.iter().enumerate() {
+            assert_eq!(sample.start_ns, 200 + 100 * i as Ns);
+        }
+        assert_eq!(s[0].slow_bytes, 3);
+        assert_eq!(s[3].fast_bytes, 10);
+    }
+
+    #[test]
+    fn final_bucket_width_is_elapsed_not_nominal() {
+        let mut t = StatsTimeline::new(100);
+        t.record(Tier::Fast, 100, 0);
+        t.record(Tier::Fast, 100, 149);
+        assert_eq!(t.sample_width(0), 100);
+        assert_eq!(t.sample_width(1), 50);
+        let s = t.samples();
+        assert!((s[1].fast_bw(t.sample_width(1)) - 2.0).abs() < 1e-9);
+        // A lone sample at t=0 has elapsed width 1, never zero.
+        let mut lone = StatsTimeline::new(100);
+        lone.record(Tier::Slow, 5, 0);
+        assert_eq!(lone.sample_width(0), 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use crate::stats::{MemStats, StatsTimeline};
 use crate::table::{PageState, PageTable, PteRun};
 use crate::{MemError, Ns, PageRange, Tier};
 use sentinel_util::fault::{FaultCounters, FaultInjector};
+use sentinel_util::trace::{TraceHandle, TraceTrack};
+use sentinel_util::Json;
 
 /// Whether an access reads or writes memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +125,11 @@ pub struct MemorySystem {
     /// First invariant violation found by the sanitizer, latched until read.
     violation: Option<MemError>,
     sanitize_events: u64,
+    /// Structured-trace recorder; the inert default records nothing.
+    tracer: TraceHandle,
+    /// Latest `now` seen by a timed entry point, for trace hooks that fire
+    /// from call sites without a clock (the sampled sanitizer).
+    last_now: Ns,
 }
 
 impl MemorySystem {
@@ -152,6 +159,8 @@ impl MemorySystem {
             sanitizer: SanitizerMode::default_mode(),
             violation: None,
             sanitize_events: 0,
+            tracer: TraceHandle::disabled(),
+            last_now: 0,
         }
     }
 
@@ -181,7 +190,8 @@ impl MemorySystem {
     /// [`MemError::OutOfRange`] if the range was not reserved,
     /// [`MemError::AlreadyMapped`] if any page is mapped, or
     /// [`MemError::CapacityExceeded`] if the tier lacks space.
-    pub fn map(&mut self, range: PageRange, tier: Tier, _now: Ns) -> Result<(), MemError> {
+    pub fn map(&mut self, range: PageRange, tier: Tier, now: Ns) -> Result<(), MemError> {
+        self.last_now = self.last_now.max(now);
         self.table.check_range(range)?;
         for run in self.table.runs_in(range) {
             if matches!(run.pte.state, PageState::Mapped(_)) {
@@ -198,6 +208,9 @@ impl MemorySystem {
         }
         self.used_pages[tier.index()] += range.count;
         self.stats.observe_mapped(self.used_pages);
+        if self.tracer.full() {
+            self.trace_mem_instant("map", now, range, Some(tier));
+        }
         self.sanitize_event();
         Ok(())
     }
@@ -212,6 +225,7 @@ impl MemorySystem {
     /// [`MemError::OutOfRange`] if the range was not reserved or
     /// [`MemError::NotMapped`] if any page is not mapped.
     pub fn unmap(&mut self, range: PageRange, now: Ns) -> Result<(), MemError> {
+        self.last_now = self.last_now.max(now);
         self.table.check_range(range)?;
         // Abort overlapping in-flight batches before releasing frames.
         if self.table.any_in_flight(range) {
@@ -233,6 +247,9 @@ impl MemorySystem {
         }
         if let Some(cache) = &mut self.cache {
             cache.invalidate_range(range);
+        }
+        if self.tracer.full() {
+            self.trace_mem_instant("unmap", now, range, None);
         }
         self.sanitize_event();
         Ok(())
@@ -319,6 +336,7 @@ impl MemorySystem {
         if range.is_empty() || bytes == 0 {
             return report;
         }
+        self.last_now = self.last_now.max(now);
         let write = kind.is_write();
         let per_model = (bytes / range.count).max(1);
         let base = bytes / range.count;
@@ -429,7 +447,7 @@ impl MemorySystem {
             }
         }
 
-        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write, now);
         report
     }
 
@@ -445,6 +463,7 @@ impl MemorySystem {
         if range.is_empty() || bytes == 0 {
             return report;
         }
+        self.last_now = self.last_now.max(now);
         let write = kind.is_write();
         let per_model = (bytes / range.count).max(1);
         let base = bytes / range.count;
@@ -505,7 +524,7 @@ impl MemorySystem {
             self.record_traffic(tier, per_model, write, now);
         }
 
-        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write, now);
         report
     }
 
@@ -517,6 +536,7 @@ impl MemorySystem {
     /// *only* here, shared by both pipelines, so the O(runs) fast path and
     /// the per-page reference consume the injector's random stream
     /// identically and stay state-equivalent under injection.
+    #[allow(clippy::too_many_arguments)]
     fn finish_access(
         &mut self,
         report: &mut AccessReport,
@@ -525,6 +545,7 @@ impl MemorySystem {
         tier_model_bytes: [u64; 2],
         tier_touched: [bool; 2],
         write: bool,
+        now: Ns,
     ) {
         for tier in Tier::both() {
             if tier_touched[tier.index()] {
@@ -543,6 +564,15 @@ impl MemorySystem {
                         .tier(Tier::Slow)
                         .access_time_ns(tier_model_bytes[Tier::Slow.index()], write);
                     report.elapsed_ns += (slow_ns as f64 * (factor - 1.0)).ceil() as Ns;
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            TraceTrack::Faults,
+                            "fault",
+                            "slow_degradation",
+                            now,
+                            vec![("factor", Json::F64(factor)), ("page", Json::U64(range.first))],
+                        );
+                    }
                 }
             }
         }
@@ -560,6 +590,15 @@ impl MemorySystem {
                     profiler.record_fault(range.first);
                     self.stats.profiling_faults += 1;
                 }
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        TraceTrack::Faults,
+                        "fault",
+                        "spurious_fault",
+                        now,
+                        vec![("page", Json::U64(range.first))],
+                    );
+                }
             }
             if inj.maybe_lost_fault() && report.faults > 0 {
                 report.faults -= 1;
@@ -567,10 +606,37 @@ impl MemorySystem {
                 if self.profiler.is_some() {
                     self.stats.profiling_faults -= 1;
                 }
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        TraceTrack::Faults,
+                        "fault",
+                        "lost_fault",
+                        now,
+                        vec![("page", Json::U64(range.first))],
+                    );
+                }
             }
         }
         report.elapsed_ns += report.faults * self.cfg.fault_overhead_ns;
         self.stats.cache_hits += report.cache_hits;
+        if self.tracer.full() {
+            self.tracer.span(
+                TraceTrack::Memory,
+                "access",
+                if write { "write" } else { "read" },
+                now,
+                report.elapsed_ns,
+                vec![
+                    ("first", Json::U64(range.first)),
+                    ("pages", Json::U64(range.count)),
+                    ("mm_accesses", Json::U64(report.mm_accesses)),
+                    ("cache_hits", Json::U64(report.cache_hits)),
+                    ("faults", Json::U64(report.faults)),
+                    ("bytes_fast", Json::U64(report.bytes_fast)),
+                    ("bytes_slow", Json::U64(report.bytes_slow)),
+                ],
+            );
+        }
     }
 
     fn count_profiling_fault(&mut self, page: u64, report: &mut AccessReport) {
@@ -617,6 +683,7 @@ impl MemorySystem {
     }
 
     fn migrate_with_priority(&mut self, range: PageRange, dest: Tier, now: Ns, urgent: bool) -> Result<MigrationTicket, MemError> {
+        self.last_now = self.last_now.max(now);
         self.table.check_range(range)?;
         let src = dest.other();
         // Runs are PTE-homogeneous, so the first failing run's first page is
@@ -640,6 +707,24 @@ impl MemorySystem {
         let direction = Direction::into_tier(dest);
         let (extra_ns, failed) = self.draw_migration_perturbation();
         let ticket = self.engine.enqueue_perturbed(range, direction, now, urgent, extra_ns, failed, 0);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                TraceTrack::Migration,
+                "migration",
+                "issue",
+                now,
+                vec![
+                    ("id", Json::U64(ticket.id)),
+                    ("first", Json::U64(range.first)),
+                    ("pages", Json::U64(range.count)),
+                    ("direction", Json::Str(direction_name(direction).into())),
+                    ("urgent", Json::Bool(urgent)),
+                    ("ready_at", Json::U64(ticket.ready_at)),
+                    ("injected_stall_ns", Json::U64(extra_ns)),
+                    ("injected_failure", Json::Bool(failed)),
+                ],
+            );
+        }
         self.sanitize_event();
         Ok(ticket)
     }
@@ -657,6 +742,7 @@ impl MemorySystem {
     /// exponential backoff (see [`RetryPolicy`]); the loop keeps draining so
     /// a retry whose backoff already elapsed is resolved in the same poll.
     pub fn poll(&mut self, now: Ns) {
+        self.last_now = self.last_now.max(now);
         if let Some(inj) = &mut self.injector {
             inj.pressure_tick();
         }
@@ -714,6 +800,23 @@ impl MemorySystem {
             }
             self.record_traffic(src, bytes, false, done.ready_at);
             self.record_traffic(dest, bytes, true, done.ready_at);
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    TraceTrack::Migration,
+                    "migration",
+                    "complete",
+                    done.ready_at,
+                    vec![
+                        ("id", Json::U64(done.id)),
+                        ("first", Json::U64(done.range.first)),
+                        ("pages", Json::U64(moved_pages)),
+                        ("bytes", Json::U64(bytes)),
+                        ("direction", Json::Str(direction_name(done.direction).into())),
+                        ("attempt", Json::U64(u64::from(done.attempt))),
+                    ],
+                );
+                self.trace_used_pages(done.ready_at);
+            }
         }
         false
     }
@@ -747,6 +850,22 @@ impl MemorySystem {
             }
             let backoff = self.retry.backoff_ns.saturating_mul(1u64 << done.attempt.min(16));
             let when = done.ready_at.saturating_add(backoff);
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    TraceTrack::Migration,
+                    "migration",
+                    "retry",
+                    done.ready_at,
+                    vec![
+                        ("id", Json::U64(done.id)),
+                        ("first", Json::U64(done.range.first)),
+                        ("pages", Json::U64(subs.iter().map(|s| s.count).sum())),
+                        ("attempt", Json::U64(u64::from(done.attempt + 1))),
+                        ("backoff_ns", Json::U64(backoff)),
+                        ("direction", Json::Str(direction_name(done.direction).into())),
+                    ],
+                );
+            }
             for sub in subs {
                 let (extra_ns, failed) = self.draw_migration_perturbation();
                 self.engine.enqueue_perturbed(sub, done.direction, when, false, extra_ns, failed, done.attempt + 1);
@@ -763,6 +882,22 @@ impl MemorySystem {
             if let Some(inj) = &mut self.injector {
                 inj.counters_mut().abandoned_migrations += 1;
                 inj.counters_mut().abandoned_pages += pages;
+            }
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    TraceTrack::Migration,
+                    "migration",
+                    "abandon",
+                    done.ready_at,
+                    vec![
+                        ("id", Json::U64(done.id)),
+                        ("first", Json::U64(done.range.first)),
+                        ("pages", Json::U64(pages)),
+                        ("attempts", Json::U64(u64::from(attempts))),
+                        ("direction", Json::Str(direction_name(done.direction).into())),
+                    ],
+                );
+                self.trace_used_pages(done.ready_at);
             }
             true
         }
@@ -996,6 +1131,51 @@ impl MemorySystem {
         self.retry
     }
 
+    // -------------------------------------------------------------- tracing
+
+    /// Install a structured-trace recorder. The default is the inert
+    /// [`TraceHandle::disabled`], which records nothing and keeps every
+    /// instrumentation site down to a single branch.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    /// The active trace handle (clone it to record from other components —
+    /// clones share this system's event buffer).
+    #[must_use]
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
+    /// Full-detail instant for a mapping event.
+    fn trace_mem_instant(&self, name: &'static str, now: Ns, range: PageRange, tier: Option<Tier>) {
+        let mut args = vec![
+            ("first", Json::U64(range.first)),
+            ("pages", Json::U64(range.count)),
+        ];
+        if let Some(tier) = tier {
+            args.push(("tier", Json::Str(format!("{tier:?}").to_ascii_lowercase())));
+        }
+        self.tracer.instant(TraceTrack::Memory, "mem", name, now, args);
+        self.trace_used_pages(now);
+    }
+
+    /// Full-detail counter sample of per-tier page usage.
+    fn trace_used_pages(&self, now: Ns) {
+        if self.tracer.full() {
+            self.tracer.counter(
+                TraceTrack::Memory,
+                "mem",
+                "used_pages",
+                now,
+                vec![
+                    ("fast", Json::U64(self.used_pages[Tier::Fast.index()])),
+                    ("slow", Json::U64(self.used_pages[Tier::Slow.index()])),
+                ],
+            );
+        }
+    }
+
     // ------------------------------------------------------------ sanitizer
 
     /// Override the residency sanitizer mode (the build default is
@@ -1115,6 +1295,7 @@ impl MemorySystem {
         if let Err(e) = self.check_invariants() {
             self.violation = Some(e);
         }
+        self.trace_sanitizer_sample("sanitize_sampled");
     }
 
     /// Unsampled sanitizer hook for rare, high-risk events (cancellation,
@@ -1125,6 +1306,24 @@ impl MemorySystem {
         }
         if let Err(e) = self.check_invariants() {
             self.violation = Some(e);
+        }
+        self.trace_sanitizer_sample("sanitize_rare");
+    }
+
+    /// Full-detail instant recording that a sanitizer check ran. Stamped
+    /// with the latest entry-point time: the sanitizer itself has no clock.
+    fn trace_sanitizer_sample(&self, name: &'static str) {
+        if self.tracer.full() {
+            self.tracer.instant(
+                TraceTrack::Memory,
+                "sanitizer",
+                name,
+                self.last_now,
+                vec![
+                    ("events", Json::U64(self.sanitize_events)),
+                    ("ok", Json::Bool(self.violation.is_none())),
+                ],
+            );
         }
     }
 
@@ -1143,6 +1342,14 @@ impl MemorySystem {
         if let Some(tl) = &mut self.timeline {
             *tl = StatsTimeline::new(tl.bucket_ns());
         }
+    }
+}
+
+/// Stable lowercase name for a migration direction in trace args.
+fn direction_name(direction: Direction) -> &'static str {
+    match direction {
+        Direction::Promote => "promote",
+        Direction::Demote => "demote",
     }
 }
 

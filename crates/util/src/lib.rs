@@ -19,7 +19,10 @@
 //!   experiment runner; honors `SENTINEL_JOBS`),
 //! - [`fault`] — a deterministic, seeded fault-injection engine (profiles,
 //!   draw guards and monotone counters; honors `SENTINEL_FAULT_SEED` /
-//!   `SENTINEL_FAULT_PROFILE`).
+//!   `SENTINEL_FAULT_PROFILE`),
+//! - [`trace`] — a buffered structured-trace recorder (spans, instants,
+//!   counters) with a Chrome `trace_event` JSON exporter (replaces
+//!   `tracing`-style telemetry; honors `SENTINEL_TRACE`).
 
 pub mod fault;
 pub mod json;
@@ -27,9 +30,11 @@ pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod timing;
+pub mod trace;
 
 pub use fault::{derive_seed, fault_env, FaultCounters, FaultInjector, FaultProfile};
 pub use json::{Json, JsonError, ToJson};
+pub use trace::{trace_env, Trace, TraceEvent, TraceHandle, TraceLevel, TraceTrack};
 pub use pool::{default_jobs, par_map, set_default_jobs, Pool};
 pub use prop::{check, no_shrink, shrink_u64, shrink_usize, shrink_vec, PropConfig};
 pub use rng::{Rng, SplitMix64};

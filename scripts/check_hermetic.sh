@@ -30,6 +30,24 @@ echo "== chaos smoke: fixed-seed faulty run completes end to end =="
 SENTINEL_FAULT_SEED=0xFA17 SENTINEL_FAULT_PROFILE=light \
     cargo run -q --offline --release -p sentinel-bench --bin run_experiments -- --fast --jobs 2 chaos
 
+echo "== tracing off is byte-transparent; full traces are jobs-deterministic =="
+# Also validates every emitted trace with the in-tree JSON parser.
+cargo test -q --offline --test trace_transparency
+
+echo "== trace smoke: --trace-dir emits Chrome trace files =="
+repo_root=$PWD
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+# Run from a scratch cwd: the runner writes a relative results/ directory,
+# which must not touch the committed results.
+( cd "$trace_tmp" && \
+    "$repo_root/target/release/run_experiments" --fast --jobs 2 --trace-dir traces fig7 )
+trace_count=$(find "$trace_tmp/traces" -name '*.trace.json' | wc -l)
+if [[ "$trace_count" -lt 1 ]]; then
+    echo "FAIL: --trace-dir produced no trace files" >&2
+    exit 1
+fi
+
 echo "== dependency closure is sentinel-* only =="
 bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
 if [[ -n "$bad_lock" ]]; then

@@ -1,0 +1,113 @@
+//! Trace transparency and cross-jobs trace determinism.
+//!
+//! Two contracts of the structured-trace subsystem:
+//!
+//! 1. **Transparency** — with tracing off (absent or `SENTINEL_TRACE=off`)
+//!    the subsystem is strictly zero-cost: experiment results are
+//!    byte-identical to a build that never heard of tracing, at any job
+//!    count.
+//! 2. **Determinism** — at `SENTINEL_TRACE=full` the results are still
+//!    byte-identical to the pristine run (events are recorded off to the
+//!    side, never fed back into the simulation), and the emitted trace
+//!    files are byte-identical across job counts: every timestamp is
+//!    simulated and every file name derives from the run key alone.
+//!
+//! Everything lives in ONE `#[test]` in its own binary: the scenarios set
+//! process-global environment variables, which must not race with other
+//! tests sharing the process.
+
+use sentinel::bench::{experiment_registry, ExpConfig};
+use sentinel::util::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// Render one experiment to its on-disk JSON bytes at a given job count.
+fn render(id: &str, jobs: usize) -> String {
+    let (_, generator) = experiment_registry()
+        .into_iter()
+        .find(|(known, _)| *known == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    sentinel::util::set_default_jobs(jobs);
+    let result = generator(&ExpConfig::new(true).with_jobs(jobs));
+    sentinel::util::set_default_jobs(0);
+    result.to_json().to_pretty_string()
+}
+
+/// Read every trace file in `dir` as `name -> bytes`.
+fn trace_files(dir: &PathBuf) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("trace dir readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 file name");
+        assert!(name.ends_with(".trace.json"), "unexpected file {name}");
+        out.insert(name, fs::read_to_string(entry.path()).expect("trace readable"));
+    }
+    out
+}
+
+#[test]
+fn tracing_off_is_byte_transparent_and_full_traces_are_deterministic() {
+    let id = "fig7";
+    // Pristine baseline: no trace environment at all.
+    std::env::remove_var("SENTINEL_TRACE");
+    std::env::remove_var("SENTINEL_TRACE_DIR");
+    let pristine = render(id, 1);
+    assert_eq!(pristine, render(id, 4), "{id}: pristine run varies with --jobs");
+
+    // Explicit off must not change a byte either.
+    std::env::set_var("SENTINEL_TRACE", "off");
+    assert_eq!(pristine, render(id, 1), "{id}: SENTINEL_TRACE=off changed the output");
+    assert_eq!(pristine, render(id, 4), "{id}: SENTINEL_TRACE=off changed the parallel output");
+
+    // Full tracing: results stay byte-identical (recording is off to the
+    // side of the simulation) and the trace files themselves are identical
+    // across job counts.
+    let base = std::env::temp_dir().join(format!("sentinel-trace-test-{}", std::process::id()));
+    let dir1 = base.join("jobs1");
+    let dir4 = base.join("jobs4");
+    fs::create_dir_all(&dir1).expect("create trace dir");
+    fs::create_dir_all(&dir4).expect("create trace dir");
+    std::env::set_var("SENTINEL_TRACE", "full");
+
+    std::env::set_var("SENTINEL_TRACE_DIR", &dir1);
+    assert_eq!(pristine, render(id, 1), "{id}: full tracing changed the serial output");
+    std::env::set_var("SENTINEL_TRACE_DIR", &dir4);
+    assert_eq!(pristine, render(id, 4), "{id}: full tracing changed the parallel output");
+
+    let serial = trace_files(&dir1);
+    let parallel = trace_files(&dir4);
+    assert!(!serial.is_empty(), "{id}: full tracing emitted no trace files");
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "{id}: trace file set varies with --jobs"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(bytes, &parallel[name], "{name}: trace bytes vary with --jobs");
+    }
+
+    // Every trace parses with the strict in-tree JSON parser and records
+    // the expected span taxonomy.
+    for (name, bytes) in &serial {
+        let doc = Json::parse(bytes).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("{name}: missing traceEvents array, got {other:?}"),
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e.get("name") {
+                Some(Json::Str(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        for expected in ["step 0", "interval 0", "issue", "complete"] {
+            assert!(names.contains(&expected), "{name}: no {expected:?} event");
+        }
+    }
+
+    std::env::remove_var("SENTINEL_TRACE");
+    std::env::remove_var("SENTINEL_TRACE_DIR");
+    let _ = fs::remove_dir_all(&base);
+}
