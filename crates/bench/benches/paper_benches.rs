@@ -77,7 +77,8 @@ fn mil_solver(b: &Bencher) -> BenchResult {
     let profile = Profiler::new(HmConfig::optane_like()).profile(&graph).unwrap();
     let fast = graph.peak_live_bytes() / 5;
     b.run("fig5/mil_solver_resnet32", || {
-        let sol = solve_mil(black_box(&graph), &schedule, &profile, fast, fast / 10, 10.0);
+        let sol = solve_mil(black_box(&graph), &schedule, &profile, fast, fast / 10, 10.0)
+            .expect("positive migration budget");
         sol.mil
     })
 }

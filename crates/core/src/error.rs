@@ -18,6 +18,15 @@ pub enum SentinelError {
         /// Human-readable description of the broken invariant.
         detail: String,
     },
+    /// The short-lived reservation consumed all of fast memory, leaving the
+    /// interval solver a zero migration budget: every candidate plan would
+    /// silently promote nothing (Eq. 1 can never hold with `S − RS = 0`).
+    ZeroMigrationBudget {
+        /// Usable fast-memory bytes `S` given to the solver.
+        fast_bytes: u64,
+        /// Short-lived reservation bytes `RS`; `>= fast_bytes` here.
+        reserve_bytes: u64,
+    },
 }
 
 impl fmt::Display for SentinelError {
@@ -27,6 +36,14 @@ impl fmt::Display for SentinelError {
             SentinelError::Invariant { detail } => {
                 write!(f, "sentinel invariant violated: {detail}")
             }
+            SentinelError::ZeroMigrationBudget { fast_bytes, reserve_bytes } => {
+                write!(
+                    f,
+                    "zero migration budget: short-lived reservation ({reserve_bytes} B) \
+                     consumes all usable fast memory ({fast_bytes} B), no interval plan \
+                     can promote anything"
+                )
+            }
         }
     }
 }
@@ -35,7 +52,7 @@ impl Error for SentinelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SentinelError::Exec(e) => Some(e),
-            SentinelError::Invariant { .. } => None,
+            SentinelError::Invariant { .. } | SentinelError::ZeroMigrationBudget { .. } => None,
         }
     }
 }
@@ -67,6 +84,15 @@ mod tests {
     fn invariant_display_carries_detail() {
         let e = SentinelError::Invariant { detail: "tensor t1 leaked".into() };
         assert!(e.to_string().contains("tensor t1 leaked"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn zero_budget_display_carries_both_sides() {
+        let e = SentinelError::ZeroMigrationBudget { fast_bytes: 4096, reserve_bytes: 8192 };
+        let text = e.to_string();
+        assert!(text.contains("4096"), "{text}");
+        assert!(text.contains("8192"), "{text}");
         assert!(e.source().is_none());
     }
 

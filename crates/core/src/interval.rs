@@ -10,6 +10,7 @@
 //! interior optimum of the paper's Figure 5 (too short exposes migration,
 //! too long violates space).
 
+use crate::error::SentinelError;
 use crate::schedule::Schedule;
 use sentinel_dnn::Graph;
 use sentinel_mem::Ns;
@@ -96,7 +97,13 @@ pub struct MilSolution {
 /// * `fast_bytes` — usable fast-memory size `S`.
 /// * `reserve_bytes` — the short-lived reservation `RS` (0 when disabled).
 /// * `promote_bw` — slow→fast migration bandwidth in bytes/ns.
-#[must_use]
+///
+/// # Errors
+///
+/// [`SentinelError::ZeroMigrationBudget`] when `reserve_bytes >= fast_bytes`:
+/// the migration budget `S − RS` is zero, so every candidate would silently
+/// plan no promotions. (A *positive* budget that no candidate fits is a
+/// legitimate outcome and falls back to `mil = 1`.)
 pub fn solve_mil(
     graph: &Graph,
     schedule: &Schedule,
@@ -104,9 +111,12 @@ pub fn solve_mil(
     fast_bytes: u64,
     reserve_bytes: u64,
     promote_bw: f64,
-) -> MilSolution {
+) -> Result<MilSolution, SentinelError> {
     let num_layers = graph.num_layers().max(1);
-    let budget = fast_bytes.saturating_sub(reserve_bytes);
+    if reserve_bytes >= fast_bytes {
+        return Err(SentinelError::ZeroMigrationBudget { fast_bytes, reserve_bytes });
+    }
+    let budget = fast_bytes - reserve_bytes;
     let migration_time = (budget as f64 / promote_bw.max(1e-9)) as i128;
 
     let mut candidates = Vec::with_capacity(num_layers);
@@ -168,7 +178,7 @@ pub fn solve_mil(
 
     // Largest feasible MIL minimizes the Eq. 2 objective; fall back to 1.
     let mil = candidates.iter().filter(|c| c.feasible).map(|c| c.mil).max().unwrap_or(1);
-    MilSolution { mil, candidates }
+    Ok(MilSolution { mil, candidates })
 }
 
 #[cfg(test)]
@@ -214,8 +224,8 @@ mod tests {
     fn smaller_fast_memory_gives_smaller_mil() {
         let (g, s, p) = setup();
         let peak = g.peak_live_bytes();
-        let small = solve_mil(&g, &s, &p, peak / 10, 0, 5.0);
-        let large = solve_mil(&g, &s, &p, peak, 0, 5.0);
+        let small = solve_mil(&g, &s, &p, peak / 10, 0, 5.0).unwrap();
+        let large = solve_mil(&g, &s, &p, peak, 0, 5.0).unwrap();
         assert!(small.mil <= large.mil, "small {} vs large {}", small.mil, large.mil);
         assert!(small.mil >= 1);
     }
@@ -223,7 +233,7 @@ mod tests {
     #[test]
     fn tensor_bytes_grow_with_mil() {
         let (g, s, p) = setup();
-        let sol = solve_mil(&g, &s, &p, g.peak_live_bytes(), 0, 5.0);
+        let sol = solve_mil(&g, &s, &p, g.peak_live_bytes(), 0, 5.0).unwrap();
         let first = sol.candidates.first().unwrap().tensor_bytes;
         let last = sol.candidates.last().unwrap().tensor_bytes;
         assert!(last >= first);
@@ -231,18 +241,44 @@ mod tests {
 
     #[test]
     fn infeasible_everywhere_falls_back_to_one() {
+        // A positive budget that no candidate fits is a legitimate plan:
+        // fall back to mil = 1 rather than erroring.
         let (g, s, p) = setup();
-        let sol = solve_mil(&g, &s, &p, 0, 0, 5.0);
+        let sol = solve_mil(&g, &s, &p, 1, 0, 5.0).unwrap();
         assert_eq!(sol.mil, 1);
         assert!(sol.candidates.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_error_on_both_sides_of_the_threshold() {
+        let (g, s, p) = setup();
+        let fast = g.peak_live_bytes() / 5;
+        // reserve == fast and reserve > fast: budget is zero, typed error.
+        for reserve in [fast, fast + 1] {
+            match solve_mil(&g, &s, &p, fast, reserve, 5.0) {
+                Err(SentinelError::ZeroMigrationBudget { fast_bytes, reserve_bytes }) => {
+                    assert_eq!(fast_bytes, fast);
+                    assert_eq!(reserve_bytes, reserve);
+                }
+                other => panic!("expected ZeroMigrationBudget, got {other:?}"),
+            }
+        }
+        // One byte under the threshold solves (budget = 1 byte → mil = 1).
+        let sol = solve_mil(&g, &s, &p, fast, fast - 1, 5.0).unwrap();
+        assert_eq!(sol.mil, 1);
+        // The degenerate no-memory case errors too (0 >= 0).
+        assert!(matches!(
+            solve_mil(&g, &s, &p, 0, 0, 5.0),
+            Err(SentinelError::ZeroMigrationBudget { fast_bytes: 0, reserve_bytes: 0 })
+        ));
     }
 
     #[test]
     fn reservation_tightens_the_constraint() {
         let (g, s, p) = setup();
         let fast = g.peak_live_bytes() / 5;
-        let without = solve_mil(&g, &s, &p, fast, 0, 5.0);
-        let with = solve_mil(&g, &s, &p, fast, fast / 2, 5.0);
+        let without = solve_mil(&g, &s, &p, fast, 0, 5.0).unwrap();
+        let with = solve_mil(&g, &s, &p, fast, fast / 2, 5.0).unwrap();
         assert!(with.mil <= without.mil);
     }
 }

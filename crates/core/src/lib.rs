@@ -24,6 +24,7 @@
 mod config;
 mod dynamic;
 mod error;
+mod event;
 mod interval;
 mod policy;
 mod reorg;
@@ -33,6 +34,7 @@ mod schedule;
 pub use config::{Ablation, Case3Policy, SentinelConfig};
 pub use dynamic::{DataflowTracker, DynamicOutcome, DynamicRuntime, MAX_BUCKETS};
 pub use error::SentinelError;
+pub use event::{EventKind, EventQueue, SimEvent};
 pub use interval::{solve_mil, IntervalPlan, MilCandidate, MilSolution};
 pub use policy::{SentinelPolicy, SentinelStats};
 pub use reorg::{HotClass, ReorgPlan};

@@ -8,6 +8,8 @@
 //! migrated per the adaptive layer-based interval plan of Section IV-D.
 
 use crate::config::{Case3Policy, SentinelConfig};
+use crate::error::SentinelError;
+use crate::event::{EventKind, EventQueue};
 use crate::interval::{solve_mil, IntervalPlan, MilSolution};
 use crate::reorg::ReorgPlan;
 use crate::schedule::Schedule;
@@ -138,6 +140,16 @@ pub struct SentinelPolicy {
     /// (lookahead prefetch targets the *next* interval), pending Case-2
     /// classification.
     case2_pending: HashSet<usize>,
+    /// The discrete-event queue behind interval-boundary classification:
+    /// migration completions, the boundary itself, sanitizer samples and
+    /// injected-fault resolutions fire in `(at, kind, seq)` order.
+    events: EventQueue,
+    /// Migration-retry count observed at the previous boundary, so a delta
+    /// marks injected faults whose consequences straddle this boundary.
+    boundary_retries_seen: u64,
+    /// Typed error latched by the interval solver (the profiling hook
+    /// cannot return a `Result`); surfaced by `SentinelRuntime::train`.
+    solver_error: Option<SentinelError>,
 }
 
 impl SentinelPolicy {
@@ -168,6 +180,9 @@ impl SentinelPolicy {
             ledger: Vec::new(),
             open_interval: None,
             case2_pending: HashSet::new(),
+            events: EventQueue::new(),
+            boundary_retries_seen: 0,
+            solver_error: None,
         }
     }
 
@@ -194,6 +209,12 @@ impl SentinelPolicy {
     #[must_use]
     pub fn violation(&self) -> Option<&str> {
         self.violation.as_deref()
+    }
+
+    /// The typed error the interval solver latched during profiling, if any
+    /// (the profiling hook cannot return a `Result`). Take-once.
+    pub fn take_solver_error(&mut self) -> Option<SentinelError> {
+        self.solver_error.take()
     }
 
     // ------------------------------------------------------------- helpers
@@ -277,9 +298,56 @@ impl SentinelPolicy {
 
     /// Resolve Case 3 at the start of interval `k`: promotes still in
     /// flight from the previous interval's prefetch.
+    ///
+    /// Classification runs through the discrete-event queue: the channel's
+    /// completion time, the boundary itself, a sanitizer sample and any
+    /// straddling injected-fault resolution are scheduled as typed events
+    /// and fired in `(at, kind, seq)` order. The MigrationReady-before-
+    /// IntervalBoundary tie-break is the executable `ready_at <= now`
+    /// convention: a copy landing exactly on the boundary is observed by it
+    /// (Case 1), identically in the event-driven and per-step time modes.
     fn handle_case3(&mut self, k: usize, ctx: &mut ExecCtx<'_>) {
+        let now = ctx.now();
         let ready = ctx.mem().channel_free_at(Tier::Fast);
-        if ready <= ctx.now() {
+        let layer = self.plan.as_ref().map_or(0, |p| p.start_layer(k));
+        self.events.clear();
+        self.events.schedule(now, EventKind::IntervalBoundary { interval: k, layer });
+        self.events.schedule(ready, EventKind::MigrationReady);
+        if ctx.mem().sanitizer_mode() != SanitizerMode::Off {
+            self.events.schedule(now, EventKind::SanitizerSample);
+        }
+        let retries = ctx.mem().fault_counters().migration_retries;
+        if retries > self.boundary_retries_seen {
+            // Injected faults perturbed the channel since the last boundary;
+            // their consequence (retried copies) resolves when it drains.
+            self.events
+                .schedule(ready, EventKind::FaultFiring { retries: retries - self.boundary_retries_seen });
+        }
+        self.boundary_retries_seen = retries;
+        let mut landed = false;
+        let mut case1 = false;
+        while let Some(ev) = self.events.pop_due(now) {
+            match ev.kind {
+                EventKind::MigrationReady => landed = true,
+                EventKind::IntervalBoundary { .. } => case1 = landed,
+                EventKind::SanitizerSample => {
+                    // Boundary-time invariant validation (read-only; the
+                    // sampled event-driven sanitizer covers the hot path).
+                    if self.violation.is_none() {
+                        if let Err(e) = ctx.mem().check_invariants() {
+                            self.violation = Some(format!("boundary sanitizer: {e}"));
+                        }
+                    }
+                }
+                // A pre-boundary resolution is just a marker: the retried
+                // copies landed with the rest of the channel.
+                EventKind::FaultFiring { .. } => {}
+            }
+        }
+        // Whatever did not fire (an unfinished copy, an unresolved fault)
+        // is exactly the Case-3 condition handled below.
+        self.events.clear();
+        if case1 {
             return; // Case 1: everything landed in time.
         }
         self.stats.case3_events += 1;
@@ -550,14 +618,23 @@ impl SentinelPolicy {
         };
         let reserve_bytes = self.reserve_pages * page_size;
 
-        let solution = solve_mil(
+        let solution = match solve_mil(
             graph,
             &schedule,
             &profile,
             fast_bytes,
             reserve_bytes,
             ctx.mem().config().promote_bw_bytes_per_ns,
-        );
+        ) {
+            Ok(solution) => solution,
+            Err(e) => {
+                // The profiling hook cannot return a `Result`: latch the
+                // typed error for `SentinelRuntime::train` to surface, and
+                // degrade to the minimal plan so the step can wind down.
+                self.solver_error = Some(e);
+                MilSolution { mil: 1, candidates: Vec::new() }
+            }
+        };
         let mil = self.cfg.mil_override.unwrap_or(solution.mil).min(graph.num_layers().max(1));
         self.plan = Some(IntervalPlan::new(mil.max(1), graph.num_layers().max(1)));
         self.stats.mil = mil.max(1);

@@ -6,8 +6,8 @@ use crate::interval::MilSolution;
 use crate::policy::{SentinelPolicy, SentinelStats};
 use sentinel_dnn::{Executor, Graph, TrainReport};
 use sentinel_mem::{
-    FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode, Trace,
-    TraceHandle, TraceLevel,
+    FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode, TimeMode,
+    Trace, TraceHandle, TraceLevel,
 };
 use sentinel_profiler::ProfileReport;
 
@@ -66,13 +66,21 @@ pub struct SentinelRuntime {
     fault: Option<(FaultProfile, u64)>,
     sanitizer: Option<SanitizerMode>,
     trace: TraceLevel,
+    time_mode: TimeMode,
 }
 
 impl SentinelRuntime {
     /// Build a runtime for the given Sentinel configuration and platform.
     #[must_use]
     pub fn new(cfg: SentinelConfig, hm: HmConfig) -> Self {
-        SentinelRuntime { cfg, hm, fault: None, sanitizer: None, trace: TraceLevel::Off }
+        SentinelRuntime {
+            cfg,
+            hm,
+            fault: None,
+            sanitizer: None,
+            trace: TraceLevel::Off,
+            time_mode: TimeMode::default(),
+        }
     }
 
     /// Install a deterministic fault injector for every run: the memory
@@ -102,6 +110,16 @@ impl SentinelRuntime {
         self
     }
 
+    /// Select the memory system's [`TimeMode`] for every run: the default
+    /// event-driven clock, or the preserved per-step reference path. Both
+    /// are byte-identical (the equivalence suite pins this); the reference
+    /// exists to keep that claim testable.
+    #[must_use]
+    pub fn with_time_mode(mut self, mode: TimeMode) -> Self {
+        self.time_mode = mode;
+        self
+    }
+
     /// The platform configuration.
     #[must_use]
     pub fn hm(&self) -> &HmConfig {
@@ -115,9 +133,12 @@ impl SentinelRuntime {
     ///
     /// [`SentinelError::Exec`] for execution failures (e.g. out of memory,
     /// or a memory-level sanitizer violation); [`SentinelError::Invariant`]
-    /// if the policy's own residency invariants were broken.
+    /// if the policy's own residency invariants were broken;
+    /// [`SentinelError::ZeroMigrationBudget`] if the short-lived
+    /// reservation left the interval solver nothing to plan with.
     pub fn train(&self, graph: &Graph, steps: usize) -> Result<SentinelOutcome, SentinelError> {
         let mut mem = MemorySystem::new(self.hm.clone());
+        mem.set_time_mode(self.time_mode);
         if let Some((profile, seed)) = &self.fault {
             mem.set_fault_injector(FaultInjector::new(*profile, *seed));
         }
@@ -130,6 +151,9 @@ impl SentinelRuntime {
         let mut exec = Executor::new(graph, mem);
         let mut policy = SentinelPolicy::new(self.cfg.clone());
         let report = exec.run(&mut policy, steps)?;
+        if let Some(e) = policy.take_solver_error() {
+            return Err(e);
+        }
         if let Some(detail) = policy.violation() {
             return Err(SentinelError::Invariant { detail: detail.to_string() });
         }

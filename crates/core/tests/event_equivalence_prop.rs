@@ -1,0 +1,221 @@
+//! Equivalence contract of the event-driven time-skip core.
+//!
+//! [`TimeMode::EventDriven`] answers every migration poll from the engine's
+//! ready-index (an O(1) peek against the earliest `ready_at`);
+//! [`TimeMode::PerStep`] is the preserved reference that linearly scans the
+//! in-flight set at each poll. The two must be *byte-identical* in every
+//! observable: the per-step training report (including the interval ledger
+//! when tracing), the Sentinel counters, the interval-solver diagnostics,
+//! the fault counters, the tensor profile, and the structured trace.
+//!
+//! The property sweeps randomized scenarios over the model zoo, fault
+//! profiles (none / zero-rate / light / heavy), trace levels and config
+//! variants; a deterministic companion pins the full model × fault matrix
+//! and the `--jobs 1` vs `--jobs 4` axis (event-driven runs on worker
+//! threads against serial per-step references).
+
+use sentinel_core::{fast_sized_for, Case3Policy, SentinelConfig, SentinelError, SentinelOutcome, SentinelRuntime};
+use sentinel_dnn::Graph;
+use sentinel_mem::{FaultProfile, HmConfig, TimeMode, TraceLevel};
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_util::prop::PropConfig;
+use sentinel_util::{prop_assert, prop_assert_eq, Rng};
+use std::sync::OnceLock;
+
+/// Scaled-down representatives of every model family in the zoo.
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::resnet(20, 4).with_scale(4),
+        ModelSpec::resnet(32, 8).with_scale(4),
+        ModelSpec::mobilenet(4).with_scale(8),
+        ModelSpec::lstm(4).with_scale(8),
+        ModelSpec::dcgan(8).with_scale(8),
+    ]
+}
+
+fn graphs() -> &'static Vec<Graph> {
+    static GRAPHS: OnceLock<Vec<Graph>> = OnceLock::new();
+    GRAPHS.get_or_init(|| specs().iter().map(|s| ModelZoo::build(s).unwrap()).collect())
+}
+
+const NUM_FAULTS: usize = 4;
+
+fn fault_profile(index: usize) -> Option<FaultProfile> {
+    match index {
+        1 => Some(FaultProfile::off()), // zero-rate injector: must be transparent
+        2 => Some(FaultProfile::light()),
+        3 => Some(FaultProfile::heavy()),
+        _ => None,
+    }
+}
+
+/// One randomized run configuration.
+#[derive(Clone, Debug)]
+struct Scenario {
+    model: usize,
+    steps: usize,
+    /// Fast-tier size as a percentage of the model's peak footprint.
+    fraction_pct: u64,
+    /// Index into [`fault_profile`].
+    fault: usize,
+    seed: u64,
+    trace: bool,
+    /// 0 = default, 1 = forced MIL 2, 2 = always-leave Case 3,
+    /// 3 = no lookahead (direct fetch).
+    variant: usize,
+}
+
+fn run(s: &Scenario, mode: TimeMode) -> Result<SentinelOutcome, SentinelError> {
+    let g = &graphs()[s.model];
+    let hm = fast_sized_for(
+        HmConfig::optane_like().without_cache(),
+        g,
+        s.fraction_pct as f64 / 100.0,
+    );
+    let mut cfg = SentinelConfig::default();
+    match s.variant {
+        1 => cfg = cfg.with_mil(2),
+        2 => cfg.case3 = Case3Policy::AlwaysLeave,
+        3 => cfg.lookahead = false,
+        _ => {}
+    }
+    let mut rt = SentinelRuntime::new(cfg, hm).with_time_mode(mode);
+    if let Some(profile) = fault_profile(s.fault) {
+        rt = rt.with_fault_injection(profile, s.seed);
+    }
+    if s.trace {
+        rt = rt.with_trace(TraceLevel::Full);
+    }
+    rt.train(g, s.steps)
+}
+
+/// Every observable of the two outcomes must match bytewise.
+fn assert_equivalent(s: &Scenario) -> Result<(), String> {
+    let event = run(s, TimeMode::EventDriven);
+    let step = run(s, TimeMode::PerStep);
+    match (event, step) {
+        (Ok(event), Ok(step)) => {
+            prop_assert_eq!(event.report, step.report, "train report diverged");
+            prop_assert_eq!(event.stats, step.stats, "sentinel stats diverged");
+            prop_assert_eq!(event.mil_solution, step.mil_solution, "mil solution diverged");
+            prop_assert_eq!(event.fault_counters, step.fault_counters, "fault counters diverged");
+            prop_assert_eq!(event.profile, step.profile, "tensor profile diverged");
+            prop_assert_eq!(event.trace, step.trace, "trace diverged");
+            prop_assert_eq!(event.steps_executed, step.steps_executed);
+            Ok(())
+        }
+        (event, step) => {
+            // Both paths must fail, and identically.
+            let (e, s2) = (event.map(|_| ()), step.map(|_| ()));
+            prop_assert!(
+                matches!((&e, &s2), (Err(a), Err(b)) if a.to_string() == b.to_string()),
+                "modes disagree on failure: event={e:?} per-step={s2:?}"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn gen_scenario(rng: &mut Rng) -> Scenario {
+    Scenario {
+        model: rng.gen_usize(0, graphs().len()),
+        steps: rng.gen_usize(2, 6),
+        fraction_pct: rng.gen_range(15, 36),
+        fault: rng.gen_usize(0, NUM_FAULTS),
+        seed: rng.gen_range(0, 1 << 32),
+        trace: rng.gen_bool(0.5),
+        variant: rng.gen_usize(0, 4),
+    }
+}
+
+/// Shrink toward the cheapest, most featureless run that still diverges.
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if s.steps > 2 {
+        out.push(Scenario { steps: s.steps - 1, ..s.clone() });
+    }
+    if s.fault != 0 {
+        out.push(Scenario { fault: 0, ..s.clone() });
+    }
+    if s.trace {
+        out.push(Scenario { trace: false, ..s.clone() });
+    }
+    if s.variant != 0 {
+        out.push(Scenario { variant: 0, ..s.clone() });
+    }
+    if s.model != 0 {
+        out.push(Scenario { model: 0, ..s.clone() });
+    }
+    out
+}
+
+#[test]
+fn event_driven_training_matches_the_per_step_reference() {
+    // Full trains are orders pricier than unit properties: trim the default
+    // case count while honoring an explicit SENTINEL_PROP_CASES override.
+    let mut cfg = PropConfig::from_env();
+    if std::env::var("SENTINEL_PROP_CASES").is_err() {
+        cfg = cfg.with_cases(12);
+    }
+    cfg.run(
+        "event_driven_training_matches_the_per_step_reference",
+        gen_scenario,
+        shrink_scenario,
+        assert_equivalent,
+    );
+}
+
+#[test]
+fn full_model_fault_matrix_matches_across_modes_and_job_counts() {
+    // The deterministic axis sweep: every model × every fault profile, the
+    // event-driven runs fanned out over 4 worker threads and compared
+    // against serial per-step references — parallelism and the time mode
+    // are both wall-clock knobs only.
+    let cells: Vec<Scenario> = (0..graphs().len())
+        .flat_map(|model| {
+            (0..NUM_FAULTS).map(move |fault| Scenario {
+                model,
+                steps: 3,
+                fraction_pct: 20,
+                fault,
+                seed: 11 * model as u64 + fault as u64,
+                trace: true,
+                variant: 0,
+            })
+        })
+        .collect();
+
+    // Warm the shared graph cache before spawning.
+    let _ = graphs();
+
+    let mut event_reports = vec![None; cells.len()];
+    let jobs = 4;
+    std::thread::scope(|scope| {
+        let mut slots: Vec<&mut [Option<_>]> = Vec::new();
+        let mut rest = event_reports.as_mut_slice();
+        let chunk = cells.len().div_ceil(jobs);
+        while !rest.is_empty() {
+            let (head, tail) = rest.split_at_mut(chunk.min(rest.len()));
+            slots.push(head);
+            rest = tail;
+        }
+        for (w, slot) in slots.into_iter().enumerate() {
+            let cells = &cells;
+            scope.spawn(move || {
+                for (i, out) in slot.iter_mut().enumerate() {
+                    let s = &cells[w * chunk + i];
+                    *out = Some(run(s, TimeMode::EventDriven).expect("matrix cell trains"));
+                }
+            });
+        }
+    });
+
+    for (s, event) in cells.iter().zip(event_reports) {
+        let event = event.expect("worker filled its slot");
+        let step = run(s, TimeMode::PerStep).expect("matrix cell trains");
+        assert_eq!(event.report, step.report, "report diverged for {s:?}");
+        assert_eq!(event.stats, step.stats, "stats diverged for {s:?}");
+        assert_eq!(event.fault_counters, step.fault_counters, "faults diverged for {s:?}");
+        assert_eq!(event.trace, step.trace, "trace diverged for {s:?}");
+    }
+}

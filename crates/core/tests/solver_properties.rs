@@ -74,7 +74,7 @@ fn solver_respects_the_space_constraint() {
     let p = Profiler::new(HmConfig::optane_like()).profile(&g).unwrap();
     for fraction in [10u64, 5, 3, 2] {
         let fast = g.peak_live_bytes() / fraction;
-        let sol = solve_mil(&g, &s, &p, fast, fast / 10, 10.0);
+        let sol = solve_mil(&g, &s, &p, fast, fast / 10, 10.0).unwrap();
         // The chosen MIL is feasible (or the fallback 1 when nothing is).
         let chosen = sol.candidates.iter().find(|c| c.mil == sol.mil).unwrap();
         let any_feasible = sol.candidates.iter().any(|c| c.feasible);
@@ -95,7 +95,7 @@ fn solver_is_monotone_in_fast_size() {
     let mut prev = 0usize;
     for fraction in [5u64, 4, 3, 2, 1] {
         let fast = g.peak_live_bytes() / fraction;
-        let sol = solve_mil(&g, &s, &p, fast, 0, 10.0);
+        let sol = solve_mil(&g, &s, &p, fast, 0, 10.0).unwrap();
         assert!(sol.mil >= prev, "MIL shrank as fast memory grew");
         prev = sol.mil;
     }

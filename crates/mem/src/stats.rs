@@ -93,11 +93,16 @@ impl StatsTimeline {
             self.buckets = front;
             self.origin = idx;
         } else {
-            for i in self.origin + self.buckets.len() as u64..=idx {
-                self.buckets.push(BandwidthSample {
-                    start_ns: self.bucket_start(i),
+            // Bulk-advance: an event-driven clock can jump the timeline far
+            // forward in one record, so the gap is filled with one reserved
+            // extend (an exact-size range iterator) rather than a push loop.
+            let next = self.origin + self.buckets.len() as u64;
+            if idx >= next {
+                let bucket_ns = self.bucket_ns;
+                self.buckets.extend((next..=idx).map(|i| BandwidthSample {
+                    start_ns: i.checked_mul(bucket_ns).expect("bucket start time overflows the ns clock"),
                     ..Default::default()
-                });
+                }));
             }
         }
         let slot = (idx - self.origin) as usize;
@@ -218,6 +223,25 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].start_ns, ((1u64 << 60) / 100) * 100);
         assert_eq!(s[0].fast_bytes, 8);
+    }
+
+    #[test]
+    fn forward_jump_extends_densely_in_one_step() {
+        // A time-skip spanning many buckets still yields a dense span with
+        // correct start times, and in-range records allocate nothing new.
+        let mut t = StatsTimeline::new(100);
+        t.record(Tier::Fast, 1, 50);
+        t.record(Tier::Slow, 2, 1_050);
+        let s = t.samples();
+        assert_eq!(s.len(), 11);
+        for (i, sample) in s.iter().enumerate() {
+            assert_eq!(sample.start_ns, 100 * i as Ns);
+        }
+        assert_eq!(s[0].fast_bytes, 1);
+        assert_eq!(s[10].slow_bytes, 2);
+        t.record(Tier::Fast, 4, 540);
+        assert_eq!(t.samples().len(), 11);
+        assert_eq!(t.samples()[5].fast_bytes, 4);
     }
 
     #[test]

@@ -92,6 +92,23 @@ impl SanitizerMode {
     }
 }
 
+/// How the system locates migration completions when polled.
+///
+/// Both modes drain the same batches in the same (issue) order and are
+/// byte-identical — the equivalence suite pins this. They differ only in
+/// poll cost: the event-driven mode answers a no-completion poll with one
+/// heap peek, while the per-step mode replays the historical linear scan
+/// over every in-flight batch. The scan is kept as the reference path, like
+/// [`MemorySystem::access_per_page`] for the access pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Indexed drains via the engine's ready heap (the default).
+    #[default]
+    EventDriven,
+    /// Linear-scan drains: the preserved per-step reference path.
+    PerStep,
+}
+
 /// Every how many mutation events the sampled sanitizer runs a full check.
 /// Each check is O(in-flight batches), and mutation events (map/unmap/
 /// migrate/poll) are the hot path of every debug-build run, so the stride is
@@ -130,6 +147,8 @@ pub struct MemorySystem {
     /// Latest `now` seen by a timed entry point, for trace hooks that fire
     /// from call sites without a clock (the sampled sanitizer).
     last_now: Ns,
+    /// How polls locate migration completions (see [`TimeMode`]).
+    time_mode: TimeMode,
 }
 
 impl MemorySystem {
@@ -161,6 +180,7 @@ impl MemorySystem {
             sanitize_events: 0,
             tracer: TraceHandle::disabled(),
             last_now: 0,
+            time_mode: TimeMode::default(),
         }
     }
 
@@ -749,7 +769,10 @@ impl MemorySystem {
         let mut applied = false;
         let mut abandoned = false;
         loop {
-            let done = self.engine.drain_completed(now);
+            let done = match self.time_mode {
+                TimeMode::EventDriven => self.engine.drain_completed(now),
+                TimeMode::PerStep => self.engine.drain_completed_scan(now),
+            };
             if done.is_empty() {
                 break;
             }
@@ -916,6 +939,24 @@ impl MemorySystem {
     #[must_use]
     pub fn channel_free_at(&self, dest: Tier) -> Ns {
         self.engine.busy_until(Direction::into_tier(dest))
+    }
+
+    /// Earliest completion time of any in-flight migration: the next
+    /// migration event for an event-driven clock. O(1).
+    #[must_use]
+    pub fn next_migration_ready(&self) -> Option<Ns> {
+        self.engine.next_ready_at()
+    }
+
+    /// Select how polls locate migration completions (see [`TimeMode`]).
+    pub fn set_time_mode(&mut self, mode: TimeMode) {
+        self.time_mode = mode;
+    }
+
+    /// The active [`TimeMode`].
+    #[must_use]
+    pub fn time_mode(&self) -> TimeMode {
+        self.time_mode
     }
 
     /// Whether any migration is still in flight.
@@ -1239,7 +1280,6 @@ impl MemorySystem {
             let batches: Vec<String> = self
                 .engine
                 .in_flight()
-                .iter()
                 .map(|b| format!("{}+{}@{}{:?}", b.range.first, b.range.count, b.ready_at, b.direction))
                 .collect();
             return Err(MemError::InvariantViolation {

@@ -20,6 +20,13 @@ cargo test -q --offline -p sentinel-mem --test access_equivalence_prop
 echo "== access-path bench compiles and runs (smoke mode, no results write) =="
 SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_access_path
 
+echo "== event-driven time skips match the per-step reference =="
+cargo test -q --offline -p sentinel-core --test event_equivalence_prop
+cargo test -q --offline -p sentinel-core --test boundary_tie
+
+echo "== event-core bench compiles and runs (smoke mode, no results write) =="
+SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_event_core
+
 echo "== chaos suite: randomized faults never break residency invariants =="
 cargo test -q --offline -p sentinel-mem --test chaos_migration
 
