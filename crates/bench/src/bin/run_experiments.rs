@@ -7,6 +7,7 @@
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --jobs 4  # 4 workers
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --fail-fast  # abort on error
 //! cargo run -p sentinel-bench --release --bin run_experiments -- --trace-dir traces fig7
+//! cargo run -p sentinel-bench --release --bin run_experiments -- --tenants 5 cluster
 //! ```
 //!
 //! Writes `results/<id>.json` per experiment and assembles
@@ -26,6 +27,11 @@
 //! `chrome://tracing` or <https://ui.perfetto.dev>). The flag implies
 //! `SENTINEL_TRACE=full` unless the variable is already set; see DESIGN.md
 //! "Trace schema".
+//!
+//! `--tenants N`, `--arrival-seed S` and `--min-quota-frac X` parameterize
+//! the `cluster` experiment (exported as `SENTINEL_CLUSTER_TENANTS`,
+//! `SENTINEL_CLUSTER_ARRIVAL_SEED`, `SENTINEL_CLUSTER_MIN_QUOTA_FRAC`); see
+//! DESIGN.md "Multi-tenant cluster scheduling".
 //!
 //! Independent experiments run concurrently on `--jobs N` workers
 //! (`SENTINEL_JOBS` honored, host parallelism by default, `--jobs 1` for
@@ -56,15 +62,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let cluster_knobs = match parse_cluster_knobs(&args) {
+        Ok(knobs) => knobs,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let filter: Vec<&String> = {
-        // Skip flag tokens and the value following a bare `--jobs` /
-        // `--trace-dir`.
+        // Skip flag tokens and the value following a bare value-taking flag.
+        let value_flags =
+            ["--jobs", "--trace-dir", "--tenants", "--arrival-seed", "--min-quota-frac"];
         let mut filter = Vec::new();
         let mut skip_next = false;
         for a in &args {
             if skip_next {
                 skip_next = false;
-            } else if a == "--jobs" || a == "--trace-dir" {
+            } else if value_flags.contains(&a.as_str()) {
                 skip_next = true;
             } else if !a.starts_with("--") {
                 filter.push(a);
@@ -85,6 +99,12 @@ fn main() {
         if std::env::var("SENTINEL_TRACE").is_err() {
             std::env::set_var("SENTINEL_TRACE", "full");
         }
+    }
+
+    // Like `--trace-dir`, the cluster knobs travel as env vars so the
+    // experiment sees them regardless of which pool worker runs it.
+    for (var, value) in cluster_knobs {
+        std::env::set_var(var, value);
     }
 
     fs::create_dir_all("results").expect("create results dir");
@@ -222,6 +242,37 @@ fn parse_trace_dir(args: &[String]) -> Result<Option<String>, String> {
             .ok_or_else(|| "--trace-dir expects a directory path".to_owned());
     }
     Ok(None)
+}
+
+/// Parse the cluster-experiment knobs `--tenants N`, `--arrival-seed S`
+/// and `--min-quota-frac X` (each also accepting `--flag=V`) into the
+/// `(env var, value)` pairs the `cluster` experiment reads. Values are
+/// validated by the experiment itself; here they only need to be present.
+fn parse_cluster_knobs(args: &[String]) -> Result<Vec<(&'static str, String)>, String> {
+    let flags = [
+        ("--tenants", "SENTINEL_CLUSTER_TENANTS"),
+        ("--arrival-seed", "SENTINEL_CLUSTER_ARRIVAL_SEED"),
+        ("--min-quota-frac", "SENTINEL_CLUSTER_MIN_QUOTA_FRAC"),
+    ];
+    let mut out = Vec::new();
+    for (flag, var) in flags {
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let raw = if a == flag {
+                it.next().map(String::as_str)
+            } else if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+                Some(v)
+            } else {
+                continue;
+            };
+            let value = raw
+                .filter(|v| !v.is_empty() && !v.starts_with("--"))
+                .ok_or_else(|| format!("{flag} expects a value, e.g. {flag} 4"))?;
+            out.push((var, value.to_owned()));
+            break;
+        }
+    }
+    Ok(out)
 }
 
 /// Parse `--jobs N` / `--jobs=N`, falling back to `SENTINEL_JOBS` and then

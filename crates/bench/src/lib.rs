@@ -21,6 +21,7 @@ pub mod experiments {
     pub mod ablations;
     pub mod chaos;
     pub mod characterization;
+    pub mod cluster;
     pub mod figures_cpu;
     pub mod figures_gpu;
     pub mod tables;
@@ -56,6 +57,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn(&ExpConfig) -> ExpResult)>
         ("fig12", figures_gpu::fig12),
         ("fig13", figures_gpu::fig13),
         ("ablations", ablations::ablations),
+        ("cluster", cluster::cluster),
     ];
     if std::env::var("SENTINEL_FAULT_SEED").is_ok() {
         registry.push(("chaos", chaos::chaos));

@@ -50,6 +50,21 @@ pub enum EventKind {
         /// Cumulative retry count at scheduling time, for diagnostics.
         retries: u64,
     },
+    /// A tenant job finishes one training step on the shared fleet clock.
+    /// Step completions outrank arrivals at the same instant so a release
+    /// and an arrival colliding on the clock admit the newcomer against the
+    /// *post-release* fleet state deterministically.
+    JobStepEnd {
+        /// Cluster-wide job index.
+        job: usize,
+        /// The step that just completed (0-based, profiling included).
+        step: usize,
+    },
+    /// A tenant job arrives at the cluster (open-loop arrival trace).
+    JobArrival {
+        /// Cluster-wide job index.
+        job: usize,
+    },
 }
 
 impl EventKind {
@@ -61,6 +76,8 @@ impl EventKind {
             EventKind::IntervalBoundary { .. } => 1,
             EventKind::SanitizerSample => 2,
             EventKind::FaultFiring { .. } => 3,
+            EventKind::JobStepEnd { .. } => 4,
+            EventKind::JobArrival { .. } => 5,
         }
     }
 }

@@ -21,6 +21,7 @@
 //!
 //! See [`SentinelRuntime`] for a runnable example.
 
+mod cluster;
 mod config;
 mod dynamic;
 mod error;
@@ -31,12 +32,16 @@ mod reorg;
 mod runtime;
 mod schedule;
 
+pub use cluster::{
+    percentile_ns, weighted_max_min, ClusterConfig, ClusterEvent, ClusterEventKind,
+    ClusterOutcome, ClusterScheduler, JobSpec, QuotaPolicy, TenantReport,
+};
 pub use config::{Ablation, Case3Policy, SentinelConfig};
 pub use dynamic::{DataflowTracker, DynamicOutcome, DynamicRuntime, MAX_BUCKETS};
 pub use error::SentinelError;
 pub use event::{EventKind, EventQueue, SimEvent};
 pub use interval::{solve_mil, IntervalPlan, MilCandidate, MilSolution};
-pub use policy::{SentinelPolicy, SentinelStats};
+pub use policy::{EvictedTensor, SentinelPolicy, SentinelStats};
 pub use reorg::{HotClass, ReorgPlan};
 pub use runtime::{fast_sized_for, SentinelOutcome, SentinelRuntime};
 pub use schedule::Schedule;

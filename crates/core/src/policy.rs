@@ -99,6 +99,23 @@ struct OpenInterval {
     stall_case3_0: Ns,
 }
 
+/// One victim of a quota-driven cold demotion
+/// ([`SentinelPolicy::demote_cold_for_quota`]), with the evidence that it
+/// was cold when taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedTensor {
+    /// The demoted tensor.
+    pub tensor: TensorId,
+    /// Fast pages it occupied when demoted.
+    pub pages: u64,
+    /// Its next use as an absolute layer index (cyclic, from layer 0);
+    /// `None` if the schedule never sees it again.
+    pub next_use: Option<usize>,
+    /// First layer *after* the upcoming interval: victims are cold because
+    /// `next_use` is `None` or at/beyond this boundary.
+    pub boundary: usize,
+}
+
 /// The Sentinel runtime as a [`MemoryManager`] policy.
 #[derive(Debug)]
 pub struct SentinelPolicy {
@@ -342,6 +359,9 @@ impl SentinelPolicy {
                 // A pre-boundary resolution is just a marker: the retried
                 // copies landed with the rest of the channel.
                 EventKind::FaultFiring { .. } => {}
+                // Cluster-level events never enter a policy's private queue;
+                // the cluster driver owns its own EventQueue.
+                EventKind::JobStepEnd { .. } | EventKind::JobArrival { .. } => {}
             }
         }
         // Whatever did not fire (an unfinished copy, an unresolved fault)
@@ -477,6 +497,80 @@ impl SentinelPolicy {
         if let Some(ready) = latest {
             ctx.stall_until(ready);
         }
+    }
+
+    // ------------------------------------------- multi-tenant quota support
+
+    /// Long-lived tensors the interval containing `layer` will touch — the
+    /// working set a multi-tenant arbiter must never demote from under the
+    /// job. Empty before the profiling step finishes (no plan exists yet).
+    #[must_use]
+    pub fn interval_working_set(&self, layer: usize) -> Vec<TensorId> {
+        let (Some(plan), Some(schedule)) = (self.plan.as_ref(), self.schedule.as_ref()) else {
+            return Vec::new();
+        };
+        let k = plan.interval_of(layer.min(schedule.num_layers().saturating_sub(1)));
+        schedule.long_tensors_in(plan.start_layer(k), plan.end_layer(k))
+    }
+
+    /// Demote *cold* fast-resident long-lived tensors — farthest next use
+    /// first, never one the upcoming interval will touch — until `pages`
+    /// fast pages are freed, then wait for the copies. The cluster arbiter
+    /// calls this between steps when it shrinks a tenant's fast-tier quota
+    /// below current usage (the paper's Case-3 "leave it in slow memory"
+    /// degradation, applied from outside). Returns the victims with the
+    /// coldness evidence (`next_use` versus the interval `boundary`) so a
+    /// harness can audit that no working-set tensor was taken. No-op during
+    /// the profiling phase, where no schedule exists yet.
+    pub fn demote_cold_for_quota(
+        &mut self,
+        pages: u64,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Vec<EvictedTensor> {
+        let (Some(plan), Some(schedule)) = (self.plan.as_ref(), self.schedule.as_ref()) else {
+            return Vec::new();
+        };
+        // Between steps the next layer to execute is 0; its interval is the
+        // working set the demotion must exclude.
+        let boundary = plan.end_layer(plan.interval_of(0));
+        let mut victims: Vec<(std::cmp::Reverse<usize>, TensorId, u64, Option<usize>)> = ctx
+            .graph()
+            .tensors()
+            .iter()
+            .filter(|t| !t.is_short_lived() && ctx.is_live(t.id))
+            .filter_map(|t| {
+                let fast = ctx.tensor_bytes_in(t.id, Tier::Fast);
+                if fast == 0 {
+                    return None;
+                }
+                let next = schedule.next_use_cyclic(t.id, 0);
+                // Cold only: the upcoming interval must not lose residency.
+                match next {
+                    Some(n) if n < boundary => None,
+                    _ => Some((std::cmp::Reverse(next.unwrap_or(usize::MAX)), t.id, fast, next)),
+                }
+            })
+            .collect();
+        victims.sort();
+        let page_size = ctx.mem().page_size();
+        let mut freed = 0u64;
+        let mut latest: Option<Ns> = None;
+        let mut evicted = Vec::new();
+        for (_, v, fast_bytes, next_use) in victims {
+            if freed >= pages {
+                break;
+            }
+            if let Ok(Some(ready)) = ctx.migrate_tensor_urgent(v, Tier::Slow) {
+                let moved = pages_for_bytes(fast_bytes, page_size);
+                freed += moved;
+                latest = Some(latest.map_or(ready, |l: Ns| l.max(ready)));
+                evicted.push(EvictedTensor { tensor: v, pages: moved, next_use, boundary });
+            }
+        }
+        if let Some(ready) = latest {
+            ctx.stall_until(ready);
+        }
+        evicted
     }
 
     // ----------------------------------------------------- interval ledger

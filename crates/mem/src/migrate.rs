@@ -128,6 +128,12 @@ pub struct MigrationEngine {
     moved_bytes: [u64; 2],
     /// Total batches issued per direction.
     batches: [u64; 2],
+    /// This engine's share of the platform migration bandwidth as a
+    /// rational `num / den` — a multi-tenant arbiter divides the fleet's
+    /// lanes between tenants. `(1, 1)` (the default) takes the exact
+    /// unscaled path, so a sole tenant is byte-identical to a
+    /// pre-multi-tenancy engine.
+    lane_share: (u64, u64),
 }
 
 impl MigrationEngine {
@@ -146,7 +152,27 @@ impl MigrationEngine {
             next_id: 0,
             moved_bytes: [0, 0],
             batches: [0, 0],
+            lane_share: (1, 1),
         }
+    }
+
+    /// Scale both channels to `num / den` of their configured bandwidth.
+    /// Applies to batches issued from now on; in-flight reservations keep
+    /// the timing they were issued with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` is zero or `num > den` (a share must be a positive
+    /// fraction at most 1).
+    pub fn set_lane_share(&mut self, num: u64, den: u64) {
+        assert!(num > 0 && num <= den, "lane share must satisfy 0 < num <= den, got {num}/{den}");
+        self.lane_share = (num, den);
+    }
+
+    /// The current lane share as `(num, den)`.
+    #[must_use]
+    pub fn lane_share(&self) -> (u64, u64) {
+        self.lane_share
     }
 
     /// Issue a migration batch; returns a ticket with its completion time.
@@ -183,7 +209,16 @@ impl MigrationEngine {
         let dir = direction.index();
         let lane = if urgent { &mut self.urgent_busy_until[dir] } else { &mut self.busy_until[dir] };
         let start = now.max(*lane);
-        let duration = self.setup_ns + extra_ns + (bytes as f64 / self.bw[dir]).ceil() as Ns;
+        // The exact historical expression when the share is whole, so a
+        // 1/1-share engine stays byte-identical to one without the feature.
+        let copy_ns = if self.lane_share == (1, 1) {
+            (bytes as f64 / self.bw[dir]).ceil() as Ns
+        } else {
+            let (num, den) = self.lane_share;
+            let effective_bw = self.bw[dir] * num as f64 / den as f64;
+            (bytes as f64 / effective_bw).ceil() as Ns
+        };
+        let duration = self.setup_ns + extra_ns + copy_ns;
         let ready_at = start + duration;
         *lane = ready_at;
         self.moved_bytes[dir] += bytes;

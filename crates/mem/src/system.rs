@@ -137,6 +137,12 @@ pub struct MemorySystem {
     unmapped_accesses: u64,
     /// Seeded fault injector; `None` (the default) means a pristine run.
     injector: Option<FaultInjector>,
+    /// Fast-tier page quota imposed by a multi-tenant arbiter; `None` (the
+    /// default) means the full configured capacity and is byte-identical to
+    /// a system that never heard of quotas. A quota may transiently sit
+    /// *below* current usage (the arbiter shrank it); allocation then sees
+    /// zero free fast pages until the tenant demotes down to the quota.
+    fast_quota_pages: Option<u64>,
     retry: RetryPolicy,
     sanitizer: SanitizerMode,
     /// First invariant violation found by the sanitizer, latched until read.
@@ -174,6 +180,7 @@ impl MemorySystem {
             timeline: None,
             unmapped_accesses: 0,
             injector: None,
+            fast_quota_pages: None,
             retry: RetryPolicy::default(),
             sanitizer: SanitizerMode::default_mode(),
             violation: None,
@@ -292,8 +299,13 @@ impl MemorySystem {
     /// subtracted from the fast tier's allocatable space.
     #[must_use]
     pub fn free_pages(&self, tier: Tier) -> u64 {
-        let mut free =
-            self.cfg.tier(tier).capacity_pages(self.cfg.page_size).saturating_sub(self.used_pages[tier.index()]);
+        let mut cap = self.cfg.tier(tier).capacity_pages(self.cfg.page_size);
+        if tier == Tier::Fast {
+            if let Some(quota) = self.fast_quota_pages {
+                cap = cap.min(quota);
+            }
+        }
+        let mut free = cap.saturating_sub(self.used_pages[tier.index()]);
         if tier == Tier::Fast {
             if let Some(inj) = &self.injector {
                 free = free.saturating_sub(inj.pressure_pages());
@@ -1145,6 +1157,45 @@ impl MemorySystem {
     /// Install a seeded fault injector. An injector whose profile has every
     /// rate at zero consumes no entropy and leaves behaviour byte-identical
     /// to having no injector at all (no-fault transparency).
+    /// Cap the fast tier at `quota` pages (`None` restores the configured
+    /// capacity). The cap is folded into [`MemorySystem::free_pages`], so
+    /// every allocation and migration admission check sees it; a quota at or
+    /// above capacity is byte-identical to no quota at all. Setting a quota
+    /// *below* current usage does not evict anything — the owner is expected
+    /// to demote down to the cap and report the transient breach.
+    pub fn set_fast_quota_pages(&mut self, quota: Option<u64>) {
+        self.fast_quota_pages = quota;
+    }
+
+    /// The fast-tier page quota, if one is imposed.
+    #[must_use]
+    pub fn fast_quota_pages(&self) -> Option<u64> {
+        self.fast_quota_pages
+    }
+
+    /// Pages mapped in fast memory beyond the current quota (0 when no
+    /// quota is set or the tenant is within it) — the magnitude of a
+    /// transient quota breach.
+    #[must_use]
+    pub fn fast_quota_excess_pages(&self) -> u64 {
+        match self.fast_quota_pages {
+            Some(q) => self.used_pages[Tier::Fast.index()].saturating_sub(q),
+            None => 0,
+        }
+    }
+
+    /// Scale both migration channels to `num / den` of the platform's
+    /// configured bandwidth — a tenant's share of the fleet's migration
+    /// lanes. A `1 / 1` share is byte-identical to an untouched engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` is zero or `num > den` (a share must be a positive
+    /// fraction at most 1).
+    pub fn set_migration_lane_share(&mut self, num: u64, den: u64) {
+        self.engine.set_lane_share(num, den);
+    }
+
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
     }

@@ -37,6 +37,13 @@ echo "== chaos smoke: fixed-seed faulty run completes end to end =="
 SENTINEL_FAULT_SEED=0xFA17 SENTINEL_FAULT_PROFILE=light \
     cargo run -q --offline --release -p sentinel-bench --bin run_experiments -- --fast --jobs 2 chaos
 
+echo "== cluster invariants: randomized traces x quota policies x faults =="
+# Fast default case count; SENTINEL_PROP_CASES opts into the full sweep.
+cargo test -q --offline --test cluster_invariants_prop
+
+echo "== cluster determinism: jobs-invariance, replay, transparency, isolation =="
+cargo test -q --offline --test cluster_determinism
+
 echo "== tracing off is byte-transparent; full traces are jobs-deterministic =="
 # Also validates every emitted trace with the in-tree JSON parser.
 cargo test -q --offline --test trace_transparency
@@ -52,6 +59,16 @@ trap 'rm -rf "$trace_tmp"' EXIT
 trace_count=$(find "$trace_tmp/traces" -name '*.trace.json' | wc -l)
 if [[ "$trace_count" -lt 1 ]]; then
     echo "FAIL: --trace-dir produced no trace files" >&2
+    exit 1
+fi
+
+echo "== cluster smoke: seeded 3-tenant trace under quota pressure =="
+# Scratch cwd again: fast-mode results must not clobber the committed ones.
+( cd "$trace_tmp" && \
+    "$repo_root/target/release/run_experiments" \
+        --fast --jobs 2 --tenants 3 --arrival-seed 0xC1A5 --min-quota-frac 0.1 cluster )
+if [[ ! -s "$trace_tmp/results/cluster.json" ]]; then
+    echo "FAIL: cluster smoke wrote no results/cluster.json" >&2
     exit 1
 fi
 

@@ -149,6 +149,88 @@ fn fig12_sentinel_gpu_competitive_and_vdnn_worst() {
     assert!(sentinel >= 0.85, "Sentinel-GPU mean ({sentinel:.3}) fell well below UM parity");
 }
 
+/// Cluster experiment (DESIGN §12): the per-tenant report schema is stable
+/// and the default 3-tenant trace exercises real contention — everyone is
+/// admitted, at least one tenant queues, at least one cold-tensor eviction
+/// repays a quota shrink, and p50/p99 reconcile with the raw step series.
+#[test]
+fn cluster_schema_and_contention_shape() {
+    let data = run("cluster");
+    assert!(num(&data, "fleet_fast_pages") > 0.0);
+    assert_eq!(num(&data, "admissions"), 3.0, "default trace must admit all 3 tenants");
+    assert_eq!(num(&data, "rejected"), 0.0);
+    assert!(num(&data, "evictions") >= 1.0, "default trace must evict at least once");
+    assert!(
+        num(&data, "quota_breaches") >= 1.0,
+        "an eviction implies a reported transient breach"
+    );
+    assert!(num(&data, "makespan_ns") > 0.0);
+
+    let tenants = match data.get("tenants") {
+        Some(Json::Arr(rows)) => rows.clone(),
+        other => panic!("tenants is not an array: {other:?}"),
+    };
+    assert_eq!(tenants.len(), 3);
+    let mut total_evictions = 0.0;
+    let mut total_breaches = 0.0;
+    let mut waited = 0;
+    for (i, t) in tenants.iter().enumerate() {
+        // Golden shape of the per-tenant report schema.
+        assert_eq!(num(t, "job"), i as f64);
+        for key in [
+            "weight",
+            "arrival_ns",
+            "wait_ns",
+            "steps",
+            "p50_step_ns",
+            "p99_step_ns",
+            "evictions",
+            "evicted_pages",
+            "quota_breaches",
+            "final_quota_pages",
+        ] {
+            assert!(num(t, key) >= 0.0, "tenant {i}: missing field {key}");
+        }
+        assert!(t.get("name").is_some() && t.get("model").is_some());
+        let admitted = opt_num(t, "admitted_ns").expect("default trace admits everyone");
+        let completed = opt_num(t, "completed_ns").expect("admitted tenants complete");
+        assert!(completed > admitted, "tenant {i}: completion precedes admission");
+        assert!(completed <= num(&data, "makespan_ns"));
+        assert_eq!(num(t, "wait_ns"), admitted - num(t, "arrival_ns"));
+        if num(t, "wait_ns") > 0.0 {
+            waited += 1;
+        }
+        // p50/p99 reconcile with the raw per-step series (nearest rank).
+        let steps = match t.get("step_ns") {
+            Some(Json::Arr(vals)) => {
+                vals.iter().map(|v| num_val(v)).collect::<Vec<f64>>()
+            }
+            other => panic!("tenant {i}: step_ns is not an array: {other:?}"),
+        };
+        assert_eq!(steps.len() as f64, num(t, "steps"));
+        let mut sorted = steps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: usize| sorted[((p * sorted.len()).div_ceil(100)).max(1) - 1];
+        assert_eq!(num(t, "p50_step_ns"), rank(50), "tenant {i}: p50 does not reconcile");
+        assert_eq!(num(t, "p99_step_ns"), rank(99), "tenant {i}: p99 does not reconcile");
+        total_evictions += num(t, "evictions");
+        total_breaches += num(t, "quota_breaches");
+    }
+    assert_eq!(total_evictions, num(&data, "evictions"), "eviction counters must reconcile");
+    assert_eq!(total_breaches, num(&data, "quota_breaches"), "breach counters must reconcile");
+    assert!(waited >= 1, "default trace should make at least one tenant queue");
+}
+
+/// A bare JSON number (array element rather than object field).
+fn num_val(v: &Json) -> f64 {
+    match v {
+        Json::F64(x) => *x,
+        Json::U64(x) => *x as f64,
+        Json::I64(x) => *x as f64,
+        other => panic!("not a number: {other:?}"),
+    }
+}
+
 /// Table V (DESIGN §5 / EXPERIMENTS.md): maximum trainable batch size obeys
 /// the paper's ordering — Sentinel ≥ Capuchin ≥ AutoTM ≥ SwapAdvisor ≥
 /// vDNN ≥ TensorFlow — with Sentinel strictly beating plain TensorFlow.
