@@ -1,0 +1,187 @@
+//! Planner microbench: the near-linear MIL solver and the allocation-free
+//! steady-state boundary path versus their preserved references.
+//!
+//! ```text
+//! cargo run -p sentinel-bench --release --bin bench_planner
+//! SENTINEL_BENCH_SMOKE=1 cargo run -p sentinel-bench --bin bench_planner
+//! ```
+//!
+//! Three scenarios:
+//!
+//! * `solve_mil` (per-candidate tensor sweep, O(L·R)) vs
+//!   `solve_mil_reference` (per-interval range queries, O(L²·t̄·log t̄)) on
+//!   a deep unrolled LSTM (≥ 512 layers) — the depth regime the quadratic
+//!   reference cannot reach — and on the standard scaled ResNet-32.
+//! * The steady-state boundary path: `interval_working_set` swept over
+//!   every layer of a managed-phase policy with the plan-time interval-set
+//!   table on vs off (per-call alloc + sort + dedup).
+//! * End-to-end `SentinelRuntime::train` with the table on vs off.
+//!
+//! The full run writes `results/BENCH_planner.json`; smoke mode runs tiny
+//! sizes for CI and writes nothing, so timing noise never churns the
+//! recorded numbers. `tests/planner_equivalence_prop.rs` guarantees both
+//! sides of every pair are byte-identical.
+
+use sentinel_core::{
+    fast_sized_for, solve_mil, solve_mil_reference, Schedule, SentinelConfig, SentinelPolicy,
+    SentinelRuntime,
+};
+use sentinel_dnn::Executor;
+use sentinel_mem::{HmConfig, MemorySystem};
+use sentinel_models::{ModelFamily, ModelSpec, ModelZoo};
+use sentinel_profiler::Profiler;
+use sentinel_util::{BenchResult, Bencher, Json, ToJson};
+
+/// A deep unrolled LSTM: `2·timesteps + 2` layers, width-scaled so the
+/// simulated footprint stays modest while the *layer count* — the solver's
+/// scaling axis — is large.
+fn deep_lstm(timesteps: u32) -> ModelSpec {
+    ModelSpec { family: ModelFamily::Lstm { hidden: 1024, timesteps }, batch: 4, scale: 16 }
+}
+
+fn main() {
+    let smoke = std::env::var("SENTINEL_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    // 255 timesteps → 512 layers in full mode; compile-and-run scale in CI.
+    let (timesteps, train_steps, bencher, ref_bencher) = if smoke {
+        (8u32, 3usize, Bencher::new(1, 3), Bencher::new(1, 2))
+    } else {
+        // The quadratic reference takes seconds per solve at 512 layers:
+        // fewer iterations there keep the run bounded without touching the
+        // fast side's sample quality.
+        (255, 8, Bencher::new(3, 15), Bencher::new(1, 5))
+    };
+
+    let mut bench_results: Vec<BenchResult> = Vec::new();
+    let mut rate_rows: Vec<Json> = Vec::new();
+
+    // --- Solver: per-candidate sweep vs per-interval range queries. -----
+    let hm = HmConfig::optane_like();
+    for (tag, spec) in [
+        ("lstm_deep", deep_lstm(timesteps)),
+        ("resnet32", ModelSpec::resnet(32, 8).with_scale(4)),
+    ] {
+        let graph = ModelZoo::build(&spec).unwrap();
+        let layers = graph.num_layers();
+        let schedule = Schedule::new(&graph);
+        let profile = Profiler::new(hm.clone()).profile(&graph).unwrap();
+        let fast = graph.peak_live_bytes() / 5;
+        let bw = hm.promote_bw_bytes_per_ns;
+        let sweep = bencher.run(&format!("planner/solve_{tag}_{layers}l/sweep"), || {
+            solve_mil(&graph, &schedule, &profile, fast, 0, bw).unwrap().mil
+        });
+        let reference = ref_bencher.run(&format!("planner/solve_{tag}_{layers}l/reference"), || {
+            solve_mil_reference(&graph, &schedule, &profile, fast, 0, bw).unwrap().mil
+        });
+        println!("{}", sweep.summary_line());
+        println!("{}", reference.summary_line());
+        let speedup = reference.median_ns as f64 / sweep.median_ns.max(1) as f64;
+        println!("  solve_{tag}: {speedup:.1}x ({layers} layers)");
+        rate_rows.push(Json::obj([
+            ("scenario", Json::Str(format!("solve_mil_{tag}"))),
+            ("layers", (layers as u64).to_json()),
+            ("sweep_ns", sweep.median_ns.to_json()),
+            ("reference_ns", reference.median_ns.to_json()),
+            ("speedup", speedup.to_json()),
+        ]));
+        bench_results.push(sweep);
+        bench_results.push(reference);
+    }
+
+    // --- Steady-state boundary path: precomputed slices vs range query. --
+    // A managed-phase policy per table setting (profiling step + one
+    // managed step), then every layer's working-set query — the shape of
+    // the per-boundary demand check and the cluster arbiter's per-tenant
+    // probe.
+    let graph = ModelZoo::build(&deep_lstm(timesteps)).unwrap();
+    let layers = graph.num_layers();
+    let hm_deep = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+    let mut boundary_results = Vec::new();
+    for (table, name) in [(true, "table"), (false, "per_call")] {
+        let mem = MemorySystem::new(hm_deep.clone());
+        let mut exec = Executor::new(&graph, mem);
+        let mut policy =
+            SentinelPolicy::new(SentinelConfig::default().with_interval_set_table(table));
+        for _ in 0..2 {
+            exec.run_step(&mut policy).unwrap();
+        }
+        assert!(policy.stats().mil >= 1, "policy reached the managed phase");
+        let r = bencher.run(&format!("planner/working_set_{layers}l/{name}"), || {
+            let mut total = 0usize;
+            for layer in 0..layers {
+                total += policy.interval_working_set(layer).len();
+            }
+            total
+        });
+        println!("{}", r.summary_line());
+        boundary_results.push(r);
+    }
+    let boundary_speedup =
+        boundary_results[1].median_ns as f64 / boundary_results[0].median_ns.max(1) as f64;
+    println!("  working_set sweep: {boundary_speedup:.1}x ({layers} layers)");
+    rate_rows.push(Json::obj([
+        ("scenario", Json::Str("boundary_working_set".to_owned())),
+        ("layers", (layers as u64).to_json()),
+        ("table_ns", boundary_results[0].median_ns.to_json()),
+        ("per_call_ns", boundary_results[1].median_ns.to_json()),
+        ("speedup", boundary_speedup.to_json()),
+    ]));
+    bench_results.extend(boundary_results);
+
+    // --- End-to-end training with the table on vs off. ------------------
+    let mut train_results = Vec::new();
+    for (table, name) in [(true, "table"), (false, "per_call")] {
+        let runtime = SentinelRuntime::new(
+            SentinelConfig::default().with_interval_set_table(table),
+            hm_deep.clone(),
+        );
+        let r = bencher.run(&format!("planner/train_lstm_deep/{name}"), || {
+            runtime.train(&graph, train_steps).unwrap().report.steady_step_ns()
+        });
+        println!("{}", r.summary_line());
+        train_results.push(r);
+    }
+    let train_speedup =
+        train_results[1].median_ns as f64 / train_results[0].median_ns.max(1) as f64;
+    println!("  train_lstm_deep: {train_speedup:.2}x");
+    rate_rows.push(Json::obj([
+        ("scenario", Json::Str("train_lstm_deep".to_owned())),
+        ("steps", (train_steps as u64).to_json()),
+        ("table_ns", train_results[0].median_ns.to_json()),
+        ("per_call_ns", train_results[1].median_ns.to_json()),
+        ("speedup", train_speedup.to_json()),
+    ]));
+    bench_results.extend(train_results);
+
+    if smoke {
+        println!("smoke mode: skipping results/BENCH_planner.json");
+        return;
+    }
+
+    let doc = Json::obj([
+        ("label", Json::Str("planner".to_owned())),
+        (
+            "note",
+            Json::Str(
+                "Wall-clock of the near-linear planner path vs its preserved \
+                 references: solve_mil (per-candidate tensor sweep over the CSR \
+                 schedule index, O(L*R) across all candidates) vs \
+                 solve_mil_reference (per-interval range queries, O(L^2) with \
+                 per-call alloc+sort+dedup); interval_working_set served from the \
+                 plan-time interval-set table vs the per-call range query; and \
+                 end-to-end SentinelRuntime::train with the table on vs off. The \
+                 planner-equivalence suite guarantees every pair is \
+                 byte-identical (full MilSolution equality and train-report \
+                 identity)."
+                    .to_owned(),
+            ),
+        ),
+        ("benchmarks", bench_results.to_json()),
+        ("speedups", Json::Arr(rate_rows)),
+    ]);
+
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_planner.json");
+    std::fs::write(&path, doc.to_pretty_string()).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -9,6 +9,13 @@
 //! optimum is the *largest* interval still satisfying Eq. 1 — exactly the
 //! interior optimum of the paper's Figure 5 (too short exposes migration,
 //! too long violates space).
+//!
+//! Two solver implementations produce byte-identical [`MilSolution`]s:
+//! [`solve_mil`] sweeps each tensor's distinct ref-layer list once per
+//! candidate (O(L·R) over all candidates), while [`solve_mil_reference`]
+//! keeps the original per-interval range-query formulation
+//! (O(L²·t̄·log t̄)) as the pinned semantic reference; the randomized suite
+//! `crates/core/tests/planner_equivalence_prop.rs` holds them equal.
 
 use crate::error::SentinelError;
 use crate::schedule::Schedule;
@@ -43,10 +50,11 @@ impl IntervalPlan {
         self.num_layers.div_ceil(self.mil)
     }
 
-    /// Interval containing `layer`.
+    /// Interval containing `layer`. Layers at or past `num_layers` clamp to
+    /// the last interval, so the result always indexes a real interval.
     #[must_use]
     pub fn interval_of(&self, layer: usize) -> usize {
-        layer / self.mil
+        (layer / self.mil).min(self.num_intervals() - 1)
     }
 
     /// First layer of interval `k`.
@@ -98,6 +106,20 @@ pub struct MilSolution {
 /// * `reserve_bytes` — the short-lived reservation `RS` (0 when disabled).
 /// * `promote_bw` — slow→fast migration bandwidth in bytes/ns.
 ///
+/// For each candidate `MIL` this walks every long-lived tensor's distinct
+/// ref-layer list once, mapping refs to interval ids to accumulate each
+/// interval's working set and incoming-prefetch bytes into two reused
+/// scratch arrays — no per-interval allocation and no range re-scans. A
+/// tensor is *incoming* for interval `k` when `k` references it, it exists
+/// before `k` starts (preallocated, or `k` is not the tensor's first
+/// referencing interval — first refs are creations), and the cyclic
+/// predecessor `k−1` does not reference it (so it was not left resident).
+/// Because the distinct-interval list is strictly increasing, both
+/// conditions fall out of the sweep: the predecessor check is
+/// `prev == k−1`, with the cyclic wrap for the tensor's first interval
+/// resolved against its last. All sums are exact `u64` arithmetic, so the
+/// result is byte-identical to [`solve_mil_reference`].
+///
 /// # Errors
 ///
 /// [`SentinelError::ZeroMigrationBudget`] when `reserve_bytes >= fast_bytes`:
@@ -105,6 +127,111 @@ pub struct MilSolution {
 /// plan no promotions. (A *positive* budget that no candidate fits is a
 /// legitimate outcome and falls back to `mil = 1`.)
 pub fn solve_mil(
+    graph: &Graph,
+    schedule: &Schedule,
+    profile: &ProfileReport,
+    fast_bytes: u64,
+    reserve_bytes: u64,
+    promote_bw: f64,
+) -> Result<MilSolution, SentinelError> {
+    let num_layers = graph.num_layers().max(1);
+    if reserve_bytes >= fast_bytes {
+        return Err(SentinelError::ZeroMigrationBudget { fast_bytes, reserve_bytes });
+    }
+    let budget = fast_bytes - reserve_bytes;
+    let migration_time = (budget as f64 / promote_bw.max(1e-9)) as i128;
+
+    // Scratch accumulators, sized for the worst case (mil = 1) and zeroed
+    // per candidate over the first `n_int` entries only.
+    let mut ws: Vec<u64> = vec![0; num_layers];
+    let mut inc: Vec<u64> = vec![0; num_layers];
+
+    let mut candidates = Vec::with_capacity(num_layers);
+    for mil in 1..=num_layers {
+        let plan = IntervalPlan::new(mil, num_layers);
+        let n_int = plan.num_intervals();
+        ws[..n_int].fill(0);
+        inc[..n_int].fill(0);
+
+        for &t in schedule.long_tensor_ids() {
+            let tensor = graph.tensor(t);
+            let bytes = tensor.bytes;
+            // Sweep the distinct referencing intervals in increasing order.
+            // `first_k`/`prev_k` resolve the exists-before and left-resident
+            // conditions; interval `first_k`'s cyclic wrap needs `last_k`,
+            // so it is settled after the sweep.
+            let mut first_k = usize::MAX;
+            let mut prev_k = usize::MAX;
+            // Exclusive end layer of `prev_k`'s interval: refs are
+            // ascending, so one compare skips every ref that stays in the
+            // current interval and the division only runs on transitions.
+            let mut cur_end = 0usize;
+            for &layer in schedule.layers_of(t) {
+                if layer < cur_end {
+                    continue;
+                }
+                let k = layer / mil;
+                cur_end = (k + 1) * mil;
+                ws[k] += bytes;
+                if prev_k == usize::MAX {
+                    first_k = k;
+                } else if prev_k != k - 1 {
+                    // Exists before (not the first interval) and not
+                    // resident from the predecessor: prefetched incoming.
+                    inc[k] += bytes;
+                }
+                prev_k = k;
+            }
+            if n_int > 1 && first_k != usize::MAX {
+                let last_k = prev_k;
+                // The first referencing interval holds the tensor only if it
+                // already exists (preallocated — otherwise the first ref
+                // creates it in place) and its cyclic predecessor did not
+                // leave it resident (only possible for the wrap at k = 0).
+                if tensor.preallocated() && !(first_k == 0 && last_k == n_int - 1) {
+                    inc[first_k] += bytes;
+                }
+            }
+        }
+
+        // `Tensor(MIL)`: an interval's own working set plus the bytes being
+        // prefetched for the *next* (cyclically) interval during it.
+        let tensor_bytes =
+            (0..n_int).map(|k| ws[k] + inc[(k + 1) % n_int]).max().unwrap_or(0);
+        let interval_time_ns: Ns = if profile.layer_times_ns.is_empty() {
+            0
+        } else {
+            // Worst case for exposure is the *shortest* interval.
+            (0..n_int)
+                .map(|k| profile.time_for_layers(plan.start_layer(k), plan.end_layer(k)))
+                .min()
+                .unwrap_or(0)
+        };
+        candidates.push(MilCandidate {
+            mil,
+            tensor_bytes,
+            feasible: tensor_bytes < budget,
+            interval_time_ns,
+            objective_ns: migration_time - i128::from(interval_time_ns),
+        });
+    }
+
+    // Largest feasible MIL minimizes the Eq. 2 objective; fall back to 1.
+    let mil = candidates.iter().filter(|c| c.feasible).map(|c| c.mil).max().unwrap_or(1);
+    Ok(MilSolution { mil, candidates })
+}
+
+/// The original per-interval range-query solver, preserved verbatim as the
+/// semantic reference for [`solve_mil`]. For every candidate it issues
+/// [`Schedule::long_tensors_in`] per interval (alloc + sort + dedup) and a
+/// binary-searched membership probe per incoming tensor — O(L²·t̄·log t̄)
+/// in total. Same signature, same errors, byte-identical output.
+///
+/// # Errors
+///
+/// [`SentinelError::ZeroMigrationBudget`] when `reserve_bytes >= fast_bytes`,
+/// exactly as [`solve_mil`].
+pub fn solve_mil_reference(
     graph: &Graph,
     schedule: &Schedule,
     profile: &ProfileReport,
@@ -201,6 +328,21 @@ mod tests {
     }
 
     #[test]
+    fn interval_of_clamps_out_of_range_layers() {
+        let p = IntervalPlan::new(4, 10);
+        // In-range layers are unaffected by the clamp.
+        assert_eq!(p.interval_of(9), 2);
+        // Layers at or past num_layers land in the last real interval.
+        assert_eq!(p.interval_of(10), 2);
+        assert_eq!(p.interval_of(11), 2);
+        assert_eq!(p.interval_of(1000), 2);
+        // Degenerate single-interval plan.
+        let one = IntervalPlan::new(10, 10);
+        assert_eq!(one.interval_of(10), 0);
+        assert_eq!(one.interval_of(usize::MAX), 0);
+    }
+
+    #[test]
     fn plan_clamps_mil_to_layer_count() {
         let p = IntervalPlan::new(100, 10);
         assert_eq!(p.mil, 10);
@@ -262,6 +404,10 @@ mod tests {
                 }
                 other => panic!("expected ZeroMigrationBudget, got {other:?}"),
             }
+            assert!(matches!(
+                solve_mil_reference(&g, &s, &p, fast, reserve, 5.0),
+                Err(SentinelError::ZeroMigrationBudget { .. })
+            ));
         }
         // One byte under the threshold solves (budget = 1 byte → mil = 1).
         let sol = solve_mil(&g, &s, &p, fast, fast - 1, 5.0).unwrap();
@@ -280,6 +426,17 @@ mod tests {
         let without = solve_mil(&g, &s, &p, fast, 0, 5.0).unwrap();
         let with = solve_mil(&g, &s, &p, fast, fast / 2, 5.0).unwrap();
         assert!(with.mil <= without.mil);
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_the_zoo_model() {
+        let (g, s, p) = setup();
+        let peak = g.peak_live_bytes();
+        for (fast, reserve) in [(peak, 0), (peak / 5, 0), (peak / 5, peak / 20), (peak / 10, 0)] {
+            let fast_sol = solve_mil(&g, &s, &p, fast, reserve, 5.0).unwrap();
+            let ref_sol = solve_mil_reference(&g, &s, &p, fast, reserve, 5.0).unwrap();
+            assert_eq!(fast_sol, ref_sol, "fast={fast} reserve={reserve}");
+        }
     }
 }
 

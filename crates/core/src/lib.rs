@@ -11,9 +11,13 @@
 //!   Case 1/2/3 handling including the test-and-trial algorithm
 //!   (Section IV-D).
 //! * [`solve_mil`] / [`IntervalPlan`] — the migration-interval solver
-//!   implementing Equations 1 and 2.
+//!   implementing Equations 1 and 2, as a near-linear per-candidate tensor
+//!   sweep (the original range-query solver survives as
+//!   [`solve_mil_reference`], pinned byte-identical by the
+//!   planner-equivalence suite).
 //! * [`Schedule`] — the static per-layer access index the migration engine
-//!   plans against.
+//!   plans against, stored as flattened CSR arrays with an optional
+//!   plan-time per-interval working-set table ([`IntervalSets`]).
 //! * [`SentinelConfig`] — feature switches, including the Figure 13
 //!   ablations ([`Ablation`]) and the GPU variant (Section V).
 //! * [`SentinelRuntime`] — one-call orchestration: profile, reorganize,
@@ -40,8 +44,8 @@ pub use config::{Ablation, Case3Policy, SentinelConfig};
 pub use dynamic::{DataflowTracker, DynamicOutcome, DynamicRuntime, MAX_BUCKETS};
 pub use error::SentinelError;
 pub use event::{EventKind, EventQueue, SimEvent};
-pub use interval::{solve_mil, IntervalPlan, MilCandidate, MilSolution};
+pub use interval::{solve_mil, solve_mil_reference, IntervalPlan, MilCandidate, MilSolution};
 pub use policy::{EvictedTensor, SentinelPolicy, SentinelStats};
 pub use reorg::{HotClass, ReorgPlan};
 pub use runtime::{fast_sized_for, SentinelOutcome, SentinelRuntime};
-pub use schedule::Schedule;
+pub use schedule::{IntervalSets, Schedule};

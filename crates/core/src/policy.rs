@@ -12,7 +12,7 @@ use crate::error::SentinelError;
 use crate::event::{EventKind, EventQueue};
 use crate::interval::{solve_mil, IntervalPlan, MilSolution};
 use crate::reorg::ReorgPlan;
-use crate::schedule::Schedule;
+use crate::schedule::{IntervalSets, Schedule};
 use sentinel_dnn::{ExecCtx, IntervalRecord, MemoryManager, PoolSpec, Tensor, TensorId};
 use sentinel_mem::{pages_for_bytes, Ns, PageRange, SanitizerMode, Tier, TraceTrack};
 use sentinel_profiler::{ProfileReport, TensorProfile};
@@ -131,6 +131,9 @@ pub struct SentinelPolicy {
     profile: Option<ProfileReport>,
     reorg: Option<ReorgPlan>,
     plan: Option<IntervalPlan>,
+    /// Plan-time per-interval working-set table (None when
+    /// `cfg.interval_set_table` is off — the per-boundary reference path).
+    interval_sets: Option<IntervalSets>,
     mil_solution: Option<MilSolution>,
     reserve_pages: u64,
     live_short_bytes: u64,
@@ -184,6 +187,7 @@ impl SentinelPolicy {
             profile: None,
             reorg: None,
             plan: None,
+            interval_sets: None,
             mil_solution: None,
             reserve_pages: 0,
             live_short_bytes: 0,
@@ -260,14 +264,28 @@ impl SentinelPolicy {
         };
         let k = k % plan.num_intervals();
         let (s, e) = (plan.start_layer(k), plan.end_layer(k));
-        let mut tensors: Vec<TensorId> = schedule
-            .long_tensors_in(s, e)
-            .into_iter()
-            .filter(|&t| ctx.is_live(t) && ctx.tensor_bytes_in(t, Tier::Slow) > 0)
-            .collect();
-        if self.cfg.hot_first {
-            tensors.sort_by_key(|&t| std::cmp::Reverse(profile.tensor(t).mm_accesses));
-        }
+        // Working set in migration order: a precomputed slice when the
+        // interval-set table is on (hot-first ordering baked in at plan
+        // time; the live/slow-resident filter moves into the loop, which is
+        // equivalent because migrating one tensor never changes another's
+        // liveness or slow-tier residency), the allocating reference query
+        // otherwise.
+        let filtered: Vec<TensorId>;
+        let tensors: &[TensorId] = match self.interval_sets.as_ref() {
+            Some(sets) => sets.prefetch_order(k),
+            None => {
+                let mut v: Vec<TensorId> = schedule
+                    .long_tensors_in(s, e)
+                    .into_iter()
+                    .filter(|&t| ctx.is_live(t) && ctx.tensor_bytes_in(t, Tier::Slow) > 0)
+                    .collect();
+                if self.cfg.hot_first {
+                    v.sort_by_key(|&t| std::cmp::Reverse(profile.tensor(t).mm_accesses));
+                }
+                filtered = v;
+                &filtered
+            }
+        };
         let page_size = ctx.mem().page_size();
         let mut budget = self.free_for_long_pages(ctx);
         // Time budget: never queue more copy work than roughly two intervals
@@ -286,8 +304,14 @@ impl SentinelPolicy {
         let bw = ctx.mem().config().promote_bw_bytes_per_ns;
         let mut byte_budget = (time_budget_ns as f64 * bw) as u64;
         let mut blocked = false;
-        for t in tensors {
+        for &t in tensors {
+            if !ctx.is_live(t) {
+                continue;
+            }
             let bytes = ctx.tensor_bytes_in(t, Tier::Slow);
+            if bytes == 0 {
+                continue;
+            }
             let pages = pages_for_bytes(bytes, page_size);
             if pages > budget || bytes > byte_budget {
                 blocked = true;
@@ -446,14 +470,13 @@ impl SentinelPolicy {
             return;
         }
         let Some(schedule) = self.schedule.as_ref() else { return };
-        let candidates: Vec<TensorId> = schedule
-            .long_tensors_in_layer(layer)
-            .iter()
-            .copied()
-            .filter(|&t| ctx.is_live(t))
-            .collect();
-        for t in candidates {
-            let next = self.schedule.as_ref().and_then(|s| s.next_use_cyclic(t, layer + 1));
+        // Direct CSR-slice iteration: no candidate Vec. Filtering inline is
+        // equivalent — demoting one tensor never changes another's liveness.
+        for &t in schedule.long_tensors_in_layer(layer) {
+            if !ctx.is_live(t) {
+                continue;
+            }
+            let next = schedule.next_use_cyclic(t, layer + 1);
             let evict = match next {
                 None => true,
                 Some(n) => n > boundary,
@@ -509,8 +532,12 @@ impl SentinelPolicy {
         let (Some(plan), Some(schedule)) = (self.plan.as_ref(), self.schedule.as_ref()) else {
             return Vec::new();
         };
-        let k = plan.interval_of(layer.min(schedule.num_layers().saturating_sub(1)));
-        schedule.long_tensors_in(plan.start_layer(k), plan.end_layer(k))
+        // `interval_of` clamps out-of-range layers to the last interval.
+        let k = plan.interval_of(layer);
+        match self.interval_sets.as_ref() {
+            Some(sets) => sets.sorted(k).to_vec(),
+            None => schedule.long_tensors_in(plan.start_layer(k), plan.end_layer(k)),
+        }
     }
 
     /// Demote *cold* fast-resident long-lived tensors — farthest next use
@@ -686,11 +713,13 @@ impl SentinelPolicy {
                 }
             })
             .collect();
+        let layer_times_ns = std::mem::take(&mut self.prof_layer_times);
         let profile = ProfileReport {
             model: graph.name().to_owned(),
             page_size: ctx.mem().page_size(),
             tensors,
-            layer_times_ns: std::mem::take(&mut self.prof_layer_times),
+            layer_time_prefix: ProfileReport::prefix_sums(&layer_times_ns),
+            layer_times_ns,
             profiling_step_ns,
             faults: map.total(),
             peak_short_lived_bytes: graph.peak_short_lived_bytes(),
@@ -730,7 +759,14 @@ impl SentinelPolicy {
             }
         };
         let mil = self.cfg.mil_override.unwrap_or(solution.mil).min(graph.num_layers().max(1));
-        self.plan = Some(IntervalPlan::new(mil.max(1), graph.num_layers().max(1)));
+        let plan = IntervalPlan::new(mil.max(1), graph.num_layers().max(1));
+        if self.cfg.interval_set_table {
+            // One pass over the chosen plan: every boundary of every managed
+            // step reads these slices instead of re-querying the schedule.
+            let hot = self.cfg.hot_first.then_some(&profile);
+            self.interval_sets = Some(IntervalSets::build(&schedule, &plan, hot));
+        }
+        self.plan = Some(plan);
         self.stats.mil = mil.max(1);
         self.stats.reserve_pages = self.reserve_pages;
         self.stats.profiling_steps = self.cfg.profile_warmup as u64 + 1;
@@ -999,17 +1035,26 @@ impl MemoryManager for SentinelPolicy {
                 // interval's demand, moving tensors out only wastes
                 // bandwidth.
                 let next = (k + 1) % plan.num_intervals();
-                let demand: u64 = self
-                    .schedule
-                    .as_ref()
-                    .map(|sch| {
-                        sch.long_tensors_in(plan.start_layer(next), plan.end_layer(next))
-                            .iter()
-                            .filter(|&&t| ctx.is_live(t))
-                            .map(|&t| ctx.tensor_bytes_in(t, Tier::Slow))
-                            .sum()
-                    })
-                    .unwrap_or(u64::MAX);
+                // Same set either way; the table path just skips the
+                // alloc + sort + dedup range query at every layer boundary.
+                let demand: u64 = if let Some(sets) = self.interval_sets.as_ref() {
+                    sets.sorted(next)
+                        .iter()
+                        .filter(|&&t| ctx.is_live(t))
+                        .map(|&t| ctx.tensor_bytes_in(t, Tier::Slow))
+                        .sum()
+                } else {
+                    self.schedule
+                        .as_ref()
+                        .map(|sch| {
+                            sch.long_tensors_in(plan.start_layer(next), plan.end_layer(next))
+                                .iter()
+                                .filter(|&&t| ctx.is_live(t))
+                                .map(|&t| ctx.tensor_bytes_in(t, Tier::Slow))
+                                .sum()
+                        })
+                        .unwrap_or(u64::MAX)
+                };
                 let free_bytes = self.free_for_long_pages(ctx) * ctx.mem().page_size();
                 if free_bytes < demand {
                     self.evict_after_layer(layer, boundary, ctx);

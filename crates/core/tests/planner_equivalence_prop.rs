@@ -1,0 +1,294 @@
+//! Equivalence contract of the near-linear planner path (PR 8).
+//!
+//! Two independent fast paths must be *byte-identical* to their preserved
+//! references:
+//!
+//! * [`solve_mil`] — the per-candidate tensor sweep — against
+//!   [`solve_mil_reference`], the original per-interval range-query solver:
+//!   full [`MilSolution`] equality, chosen `mil` and every candidate's
+//!   diagnostics included, across the model zoo × fast-memory fractions ×
+//!   short-lived reservations × bandwidths, plus identical typed errors on
+//!   the zero-budget side.
+//! * The plan-time interval-set table (`SentinelConfig::interval_set_table`)
+//!   against the per-boundary alloc+sort+dedup queries it replaces: every
+//!   observable of a full `SentinelRuntime::train` (step reports with the
+//!   interval ledger, Sentinel counters, solver diagnostics, fault counters,
+//!   tensor profile, structured trace) across models × fast fractions ×
+//!   fault profiles × config variants.
+
+use sentinel_core::{
+    fast_sized_for, solve_mil, solve_mil_reference, Case3Policy, Schedule, SentinelConfig,
+    SentinelError, SentinelOutcome, SentinelRuntime,
+};
+use sentinel_dnn::Graph;
+use sentinel_mem::{FaultProfile, HmConfig, TraceLevel};
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_profiler::{ProfileReport, Profiler};
+use sentinel_util::prop::PropConfig;
+use sentinel_util::{prop_assert, prop_assert_eq, Rng};
+use std::sync::OnceLock;
+
+/// Scaled-down representatives of every model family in the zoo.
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::resnet(20, 4).with_scale(4),
+        ModelSpec::resnet(32, 8).with_scale(4),
+        ModelSpec::mobilenet(4).with_scale(8),
+        ModelSpec::lstm(4).with_scale(8),
+        ModelSpec::dcgan(8).with_scale(8),
+    ]
+}
+
+fn graphs() -> &'static Vec<Graph> {
+    static GRAPHS: OnceLock<Vec<Graph>> = OnceLock::new();
+    GRAPHS.get_or_init(|| specs().iter().map(|s| ModelZoo::build(s).unwrap()).collect())
+}
+
+/// One profile + schedule per model, shared across cases (profiling is the
+/// expensive part; the solver inputs are immutable).
+fn planner_inputs() -> &'static Vec<(Schedule, ProfileReport)> {
+    static INPUTS: OnceLock<Vec<(Schedule, ProfileReport)>> = OnceLock::new();
+    INPUTS.get_or_init(|| {
+        graphs()
+            .iter()
+            .map(|g| {
+                let s = Schedule::new(g);
+                let p = Profiler::new(HmConfig::optane_like()).profile(g).unwrap();
+                (s, p)
+            })
+            .collect()
+    })
+}
+
+// ------------------------------------------------------------ solver sweep
+
+#[derive(Clone, Debug)]
+struct SolverCase {
+    model: usize,
+    /// Fast-tier size as a percentage of the model's peak footprint
+    /// (0 exercises the degenerate zero-capacity error path).
+    fraction_pct: u64,
+    /// Reservation as a percentage of the fast size (values ≥ 100 exercise
+    /// the zero-budget typed error).
+    reserve_pct: u64,
+    /// Promote bandwidth in hundredths of bytes/ns (0 stresses the
+    /// divide-by-zero guard).
+    bw_centi: u64,
+}
+
+fn gen_solver_case(rng: &mut Rng) -> SolverCase {
+    SolverCase {
+        model: rng.gen_usize(0, graphs().len()),
+        fraction_pct: rng.gen_range(0, 121),
+        reserve_pct: rng.gen_range(0, 111),
+        bw_centi: rng.gen_range(0, 2001),
+    }
+}
+
+fn shrink_solver_case(c: &SolverCase) -> Vec<SolverCase> {
+    let mut out = Vec::new();
+    if c.model != 0 {
+        out.push(SolverCase { model: 0, ..c.clone() });
+    }
+    if c.reserve_pct != 0 {
+        out.push(SolverCase { reserve_pct: 0, ..c.clone() });
+    }
+    if c.bw_centi != 500 {
+        out.push(SolverCase { bw_centi: 500, ..c.clone() });
+    }
+    out
+}
+
+fn assert_solver_equivalent(c: &SolverCase) -> Result<(), String> {
+    let g = &graphs()[c.model];
+    let (schedule, profile) = &planner_inputs()[c.model];
+    let fast = g.peak_live_bytes() * c.fraction_pct / 100;
+    let reserve = fast * c.reserve_pct / 100;
+    let bw = c.bw_centi as f64 / 100.0;
+    let fast_sol = solve_mil(g, schedule, profile, fast, reserve, bw);
+    let ref_sol = solve_mil_reference(g, schedule, profile, fast, reserve, bw);
+    match (fast_sol, ref_sol) {
+        (Ok(fast_sol), Ok(ref_sol)) => {
+            prop_assert_eq!(fast_sol.mil, ref_sol.mil, "chosen mil diverged");
+            prop_assert_eq!(
+                fast_sol.candidates,
+                ref_sol.candidates,
+                "candidate diagnostics diverged"
+            );
+            Ok(())
+        }
+        (fast_sol, ref_sol) => {
+            let (f, r) = (fast_sol.map(|_| ()), ref_sol.map(|_| ()));
+            prop_assert!(
+                matches!(
+                    (&f, &r),
+                    (
+                        Err(SentinelError::ZeroMigrationBudget { .. }),
+                        Err(SentinelError::ZeroMigrationBudget { .. })
+                    )
+                ),
+                "solvers disagree on failure: sweep={f:?} reference={r:?}"
+            );
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn mil_sweep_matches_the_range_query_reference() {
+    let mut cfg = PropConfig::from_env();
+    if std::env::var("SENTINEL_PROP_CASES").is_err() {
+        cfg = cfg.with_cases(40);
+    }
+    cfg.run(
+        "mil_sweep_matches_the_range_query_reference",
+        gen_solver_case,
+        shrink_solver_case,
+        assert_solver_equivalent,
+    );
+}
+
+// --------------------------------------------------- interval-set table
+
+const NUM_FAULTS: usize = 4;
+
+fn fault_profile(index: usize) -> Option<FaultProfile> {
+    match index {
+        1 => Some(FaultProfile::off()),
+        2 => Some(FaultProfile::light()),
+        3 => Some(FaultProfile::heavy()),
+        _ => None,
+    }
+}
+
+#[derive(Clone, Debug)]
+struct TableCase {
+    model: usize,
+    steps: usize,
+    fraction_pct: u64,
+    fault: usize,
+    seed: u64,
+    trace: bool,
+    /// 0 = default, 1 = FIFO prefetch order (`hot_first` off), 2 = no
+    /// lookahead (direct fetch), 3 = forced MIL 2, 4 = always-leave Case 3.
+    variant: usize,
+}
+
+fn run_table(c: &TableCase, table: bool) -> Result<SentinelOutcome, SentinelError> {
+    let g = &graphs()[c.model];
+    let hm = fast_sized_for(
+        HmConfig::optane_like().without_cache(),
+        g,
+        c.fraction_pct as f64 / 100.0,
+    );
+    let mut cfg = SentinelConfig::default().with_interval_set_table(table);
+    match c.variant {
+        1 => cfg.hot_first = false,
+        2 => cfg.lookahead = false,
+        3 => cfg = cfg.with_mil(2),
+        4 => cfg.case3 = Case3Policy::AlwaysLeave,
+        _ => {}
+    }
+    let mut rt = SentinelRuntime::new(cfg, hm);
+    if let Some(profile) = fault_profile(c.fault) {
+        rt = rt.with_fault_injection(profile, c.seed);
+    }
+    if c.trace {
+        rt = rt.with_trace(TraceLevel::Full);
+    }
+    rt.train(g, c.steps)
+}
+
+fn assert_table_transparent(c: &TableCase) -> Result<(), String> {
+    let on = run_table(c, true);
+    let off = run_table(c, false);
+    match (on, off) {
+        (Ok(on), Ok(off)) => {
+            prop_assert_eq!(on.report, off.report, "train report diverged");
+            prop_assert_eq!(on.stats, off.stats, "sentinel stats diverged");
+            prop_assert_eq!(on.mil_solution, off.mil_solution, "mil solution diverged");
+            prop_assert_eq!(on.fault_counters, off.fault_counters, "fault counters diverged");
+            prop_assert_eq!(on.profile, off.profile, "tensor profile diverged");
+            prop_assert_eq!(on.trace, off.trace, "trace diverged");
+            prop_assert_eq!(on.steps_executed, off.steps_executed);
+            Ok(())
+        }
+        (on, off) => {
+            let (a, b) = (on.map(|_| ()), off.map(|_| ()));
+            prop_assert!(
+                matches!((&a, &b), (Err(x), Err(y)) if x.to_string() == y.to_string()),
+                "table paths disagree on failure: on={a:?} off={b:?}"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn gen_table_case(rng: &mut Rng) -> TableCase {
+    TableCase {
+        model: rng.gen_usize(0, graphs().len()),
+        steps: rng.gen_usize(2, 6),
+        fraction_pct: rng.gen_range(15, 36),
+        fault: rng.gen_usize(0, NUM_FAULTS),
+        seed: rng.gen_range(0, 1 << 32),
+        trace: rng.gen_bool(0.5),
+        variant: rng.gen_usize(0, 5),
+    }
+}
+
+fn shrink_table_case(c: &TableCase) -> Vec<TableCase> {
+    let mut out = Vec::new();
+    if c.steps > 2 {
+        out.push(TableCase { steps: c.steps - 1, ..c.clone() });
+    }
+    if c.fault != 0 {
+        out.push(TableCase { fault: 0, ..c.clone() });
+    }
+    if c.trace {
+        out.push(TableCase { trace: false, ..c.clone() });
+    }
+    if c.variant != 0 {
+        out.push(TableCase { variant: 0, ..c.clone() });
+    }
+    if c.model != 0 {
+        out.push(TableCase { model: 0, ..c.clone() });
+    }
+    out
+}
+
+#[test]
+fn interval_set_table_is_byte_transparent_end_to_end() {
+    // Full trains are orders pricier than unit properties: trim the default
+    // case count while honoring an explicit SENTINEL_PROP_CASES override.
+    let mut cfg = PropConfig::from_env();
+    if std::env::var("SENTINEL_PROP_CASES").is_err() {
+        cfg = cfg.with_cases(12);
+    }
+    cfg.run(
+        "interval_set_table_is_byte_transparent_end_to_end",
+        gen_table_case,
+        shrink_table_case,
+        assert_table_transparent,
+    );
+}
+
+#[test]
+fn table_transparency_holds_on_the_deterministic_matrix() {
+    // Every model × every config variant at a fixed budget: the axis most
+    // likely to expose an ordering bug (hot-first on/off changes the
+    // prefetch order the table precomputes).
+    for model in 0..graphs().len() {
+        for variant in 0..5 {
+            let c = TableCase {
+                model,
+                steps: 3,
+                fraction_pct: 20,
+                fault: 0,
+                seed: 7 * model as u64 + variant as u64,
+                trace: true,
+                variant,
+            };
+            assert_table_transparent(&c).unwrap_or_else(|e| panic!("{c:?}: {e}"));
+        }
+    }
+}

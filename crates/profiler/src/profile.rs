@@ -50,6 +50,12 @@ pub struct ProfileReport {
     /// Per-layer execution time of the profiling step with the simulated
     /// fault overhead removed — the basis for the paper's `T(MIL)` estimate.
     pub layer_times_ns: Vec<Ns>,
+    /// Prefix sums over `layer_times_ns` (`len() == layer_times_ns.len() + 1`,
+    /// entry 0 is 0), built with [`ProfileReport::prefix_sums`]. Makes
+    /// [`ProfileReport::time_for_layers`] O(1) — the MIL solver queries it
+    /// once per interval per candidate. Derived data: excluded from the JSON
+    /// serialization.
+    pub layer_time_prefix: Vec<Ns>,
     /// Duration of the profiling step (including fault overhead).
     pub profiling_step_ns: Ns,
     /// Protection faults taken (== total counted main-memory accesses).
@@ -93,12 +99,34 @@ impl ProfileReport {
         self.tensors.iter().filter(|t| range.contains(&t.mm_accesses)).map(|t| t.bytes).sum()
     }
 
+    /// Prefix sums for `times`, as [`ProfileReport::layer_time_prefix`]
+    /// expects them: `out[k]` is the sum of the first `k` layer times.
+    #[must_use]
+    pub fn prefix_sums(times: &[Ns]) -> Vec<Ns> {
+        let mut out = Vec::with_capacity(times.len() + 1);
+        let mut acc: Ns = 0;
+        out.push(acc);
+        for &t in times {
+            acc += t;
+            out.push(acc);
+        }
+        out
+    }
+
     /// Per-layer `T` estimate: execution time of layers `[start, end)`.
+    /// Both endpoints clamp to the layer count; the clamped range must not
+    /// be inverted. O(1) via [`ProfileReport::layer_time_prefix`], falling
+    /// back to direct summation for hand-built reports without one.
     #[must_use]
     pub fn time_for_layers(&self, start: usize, end: usize) -> Ns {
-        self.layer_times_ns[start.min(self.layer_times_ns.len())..end.min(self.layer_times_ns.len())]
-            .iter()
-            .sum()
+        let len = self.layer_times_ns.len();
+        let (s, e) = (start.min(len), end.min(len));
+        assert!(s <= e, "inverted layer range {start}..{end}");
+        if self.layer_time_prefix.len() == len + 1 {
+            self.layer_time_prefix[e] - self.layer_time_prefix[s]
+        } else {
+            self.layer_times_ns[s..e].iter().sum()
+        }
     }
 
     /// Mean per-layer time.
@@ -135,6 +163,7 @@ mod tests {
             page_size: 4096,
             tensors: vec![tp(0, 100, 5), tp(1, 200, 50), tp(2, 300, 1)],
             layer_times_ns: vec![10, 20, 30],
+            layer_time_prefix: ProfileReport::prefix_sums(&[10, 20, 30]),
             profiling_step_ns: 100,
             faults: 56,
             peak_short_lived_bytes: 100,
@@ -163,6 +192,21 @@ mod tests {
         assert_eq!(r.time_for_layers(1, 3), 50);
         assert_eq!(r.time_for_layers(2, 10), 30);
         assert_eq!(r.mean_layer_time(), 20);
+    }
+
+    #[test]
+    fn layer_time_windows_without_a_prefix_fall_back_to_summation() {
+        let mut r = report();
+        r.layer_time_prefix.clear();
+        assert_eq!(r.time_for_layers(0, 2), 30);
+        assert_eq!(r.time_for_layers(1, 3), 50);
+        assert_eq!(r.time_for_layers(2, 10), 30);
+    }
+
+    #[test]
+    fn prefix_sums_shape() {
+        assert_eq!(ProfileReport::prefix_sums(&[]), vec![0]);
+        assert_eq!(ProfileReport::prefix_sums(&[10, 20, 30]), vec![0, 10, 30, 60]);
     }
 
     #[test]

@@ -148,6 +148,7 @@ impl Profiler {
             model: graph.name().to_owned(),
             page_size: self.cfg.page_size,
             tensors,
+            layer_time_prefix: ProfileReport::prefix_sums(&policy.layer_times),
             layer_times_ns: policy.layer_times,
             profiling_step_ns: step.duration_ns,
             faults: step.faults,

@@ -27,6 +27,12 @@ cargo test -q --offline -p sentinel-core --test boundary_tie
 echo "== event-core bench compiles and runs (smoke mode, no results write) =="
 SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_event_core
 
+echo "== planner sweep and interval-set table match their references =="
+cargo test -q --offline -p sentinel-core --test planner_equivalence_prop
+
+echo "== planner bench compiles and runs (smoke mode, no results write) =="
+SENTINEL_BENCH_SMOKE=1 cargo run -q --offline -p sentinel-bench --bin bench_planner
+
 echo "== chaos suite: randomized faults never break residency invariants =="
 cargo test -q --offline -p sentinel-mem --test chaos_migration
 
