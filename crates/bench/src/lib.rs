@@ -19,6 +19,7 @@
 pub mod experiments {
     //! Table and figure generators.
     pub mod ablations;
+    pub mod adaptive;
     pub mod chaos;
     pub mod characterization;
     pub mod cluster;
@@ -58,6 +59,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn(&ExpConfig) -> ExpResult)>
         ("fig13", figures_gpu::fig13),
         ("ablations", ablations::ablations),
         ("cluster", cluster::cluster),
+        ("adaptive", adaptive::adaptive),
     ];
     if std::env::var("SENTINEL_FAULT_SEED").is_ok() {
         registry.push(("chaos", chaos::chaos));

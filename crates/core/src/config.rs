@@ -1,5 +1,7 @@
 //! Sentinel runtime configuration and ablation switches.
 
+use crate::adapt::AdaptConfig;
+use sentinel_mem::RetryPolicy;
 
 /// How Sentinel resolves Case 3 — migrations that did not finish before the
 /// interval that needs their tensors (Section IV-D).
@@ -68,6 +70,20 @@ pub struct SentinelConfig {
     /// `tests/planner_equivalence_prop.rs`). Excluded from the JSON
     /// serialization: a performance switch, not a semantic knob.
     pub interval_set_table: bool,
+    /// Drift-adaptive control loop (`crate::adapt`): online drift
+    /// detection, incremental re-profiling and plan re-solve. `None`
+    /// (the default) runs the static policy byte-identically to builds
+    /// without the feature. Excluded from the JSON serialization so the
+    /// committed goldens — all produced with adaptation off — stay
+    /// byte-stable.
+    pub adaptive: Option<AdaptConfig>,
+    /// Migration retry/backoff policy override for the memory system
+    /// (`None` keeps [`RetryPolicy::default`]). Settable from the
+    /// environment through `SENTINEL_RETRY_MAX_ATTEMPTS` /
+    /// `SENTINEL_RETRY_BACKOFF_NS` (see `RetryPolicy::from_env`).
+    /// Excluded from the JSON serialization for the same golden-stability
+    /// reason as `adaptive`.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for SentinelConfig {
@@ -82,6 +98,8 @@ impl Default for SentinelConfig {
             hot_first: true,
             gpu: false,
             interval_set_table: true,
+            adaptive: None,
+            retry: None,
         }
     }
 }
@@ -131,6 +149,20 @@ impl SentinelConfig {
         self.interval_set_table = on;
         self
     }
+
+    /// Enable the drift-adaptive control loop with the given tuning.
+    #[must_use]
+    pub fn with_adaptive(mut self, adapt: AdaptConfig) -> Self {
+        self.adaptive = Some(adapt);
+        self
+    }
+
+    /// Override the memory system's migration retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +199,20 @@ mod tests {
     #[test]
     fn mil_override_floors_at_one() {
         assert_eq!(SentinelConfig::default().with_mil(0).mil_override, Some(1));
+    }
+
+    #[test]
+    fn adaptive_and_retry_default_off_and_stay_out_of_json() {
+        use sentinel_util::ToJson;
+        let c = SentinelConfig::default();
+        assert!(c.adaptive.is_none() && c.retry.is_none());
+        let on = SentinelConfig::default()
+            .with_adaptive(AdaptConfig::default())
+            .with_retry(RetryPolicy::default());
+        assert!(on.adaptive.is_some() && on.retry.is_some());
+        // Golden stability: neither knob appears in the serialized config.
+        let json = on.to_json().to_string();
+        assert!(!json.contains("adaptive") && !json.contains("retry"), "{json}");
     }
 }
 

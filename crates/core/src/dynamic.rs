@@ -190,6 +190,42 @@ mod tests {
     }
 
     #[test]
+    fn overflow_signatures_fold_into_existing_buckets_by_modulo() {
+        let mut t = DataflowTracker::new();
+        // Fill the table: signatures 100..110 take buckets 0..10 in first-
+        // sight order.
+        for (i, sig) in (100..110u64).enumerate() {
+            assert_eq!(t.observe(sig), (i, true));
+        }
+        assert_eq!(t.num_buckets(), MAX_BUCKETS);
+        // Every signature past the cap folds onto `sig % MAX_BUCKETS` and
+        // is never reported as a new bucket.
+        for sig in [0u64, 7, 13, 9_999, u64::MAX] {
+            let (idx, is_new) = t.observe(sig);
+            assert_eq!(idx, (sig % MAX_BUCKETS as u64) as usize, "signature {sig}");
+            assert!(!is_new, "folded signature {sig} must not allocate a bucket");
+        }
+        assert_eq!(t.num_buckets(), MAX_BUCKETS, "folding must not grow the table");
+    }
+
+    #[test]
+    fn signatures_keep_their_bucket_across_reobservation() {
+        let mut t = DataflowTracker::new();
+        // A mix of pre-cap and folded post-cap signatures.
+        let sigs: Vec<u64> =
+            (0..15u64).map(|i| i.wrapping_mul(6_364_136_223_846_793_005)).collect();
+        let first: Vec<usize> = sigs.iter().map(|&s| t.observe(s).0).collect();
+        // Re-observe in reverse and shuffled-ish orders: same bucket every
+        // time, never "new" again.
+        for &s in sigs.iter().rev().chain(sigs.iter().skip(1).step_by(2)) {
+            let (idx, is_new) = t.observe(s);
+            let expect = first[sigs.iter().position(|&x| x == s).unwrap()];
+            assert_eq!(idx, expect, "signature {s} moved buckets");
+            assert!(!is_new, "signature {s} re-reported as new");
+        }
+    }
+
+    #[test]
     fn each_bucket_profiles_once() {
         let rt = DynamicRuntime::new(
             SentinelConfig::default(),

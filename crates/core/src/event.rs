@@ -65,6 +65,11 @@ pub enum EventKind {
         /// Cluster-wide job index.
         job: usize,
     },
+    /// The adaptive control loop samples its drift signals at an interval
+    /// boundary. Fires after everything else at the same instant so the
+    /// detector observes the boundary's *settled* state (copies landed,
+    /// boundary classified, faults resolved).
+    DriftCheck,
 }
 
 impl EventKind {
@@ -78,6 +83,7 @@ impl EventKind {
             EventKind::FaultFiring { .. } => 3,
             EventKind::JobStepEnd { .. } => 4,
             EventKind::JobArrival { .. } => 5,
+            EventKind::DriftCheck => 6,
         }
     }
 }
@@ -195,6 +201,7 @@ mod tests {
         q.schedule(1_000, EventKind::IntervalBoundary { interval: 3, layer: 12 });
         q.schedule(1_000, EventKind::MigrationReady);
         q.schedule(1_000, EventKind::FaultFiring { retries: 0 });
+        q.schedule(1_000, EventKind::DriftCheck);
         q.schedule(1_000, EventKind::SanitizerSample);
         let order: Vec<EventKind> = std::iter::from_fn(|| q.pop_next()).map(|e| e.kind).collect();
         assert_eq!(
@@ -204,6 +211,7 @@ mod tests {
                 EventKind::IntervalBoundary { interval: 3, layer: 12 },
                 EventKind::SanitizerSample,
                 EventKind::FaultFiring { retries: 0 },
+                EventKind::DriftCheck,
             ]
         );
     }

@@ -22,9 +22,14 @@
 //!   ablations ([`Ablation`]) and the GPU variant (Section V).
 //! * [`SentinelRuntime`] — one-call orchestration: profile, reorganize,
 //!   train, report.
+//! * [`AdaptConfig`] — the optional drift-adaptive control loop: online
+//!   drift detection over the fault/stall counters, incremental
+//!   re-profiling of divergent layers, and plan re-solve with graceful
+//!   degradation (off by default; byte-transparent when off).
 //!
 //! See [`SentinelRuntime`] for a runnable example.
 
+mod adapt;
 mod cluster;
 mod config;
 mod dynamic;
@@ -36,6 +41,7 @@ mod reorg;
 mod runtime;
 mod schedule;
 
+pub use adapt::{AdaptConfig, AdaptReport, AdaptWarning, DriftDetector, DriftVerdict};
 pub use cluster::{
     percentile_ns, weighted_max_min, ClusterConfig, ClusterEvent, ClusterEventKind,
     ClusterOutcome, ClusterScheduler, JobSpec, QuotaPolicy, TenantReport,

@@ -7,6 +7,7 @@
 //! tensors live in a reserved fast-memory region, and long-lived tensors are
 //! migrated per the adaptive layer-based interval plan of Section IV-D.
 
+use crate::adapt::{AdaptReport, AdaptState, AdaptWarning, DriftVerdict, Observation, PendingObservation};
 use crate::config::{Case3Policy, SentinelConfig};
 use crate::error::SentinelError;
 use crate::event::{EventKind, EventQueue};
@@ -15,7 +16,7 @@ use crate::reorg::ReorgPlan;
 use crate::schedule::{IntervalSets, Schedule};
 use sentinel_dnn::{ExecCtx, IntervalRecord, MemoryManager, PoolSpec, Tensor, TensorId};
 use sentinel_mem::{pages_for_bytes, Ns, PageRange, SanitizerMode, Tier, TraceTrack};
-use sentinel_profiler::{ProfileReport, TensorProfile};
+use sentinel_profiler::{ProfileReport, TensorDelta, TensorProfile};
 use sentinel_util::Json;
 use std::collections::{HashMap, HashSet};
 
@@ -170,12 +171,17 @@ pub struct SentinelPolicy {
     /// Typed error latched by the interval solver (the profiling hook
     /// cannot return a `Result`); surfaced by `SentinelRuntime::train`.
     solver_error: Option<SentinelError>,
+    /// The drift-adaptive control loop (`None` unless `cfg.adaptive` is
+    /// set; with it `None` every adaptive code path is skipped and the
+    /// policy runs byte-identically to the static build).
+    adapt: Option<AdaptState>,
 }
 
 impl SentinelPolicy {
     /// Build a policy from a configuration.
     #[must_use]
     pub fn new(cfg: SentinelConfig) -> Self {
+        let adapt = cfg.adaptive.clone().map(AdaptState::new);
         SentinelPolicy {
             cfg,
             phase: Phase::Profiling,
@@ -204,6 +210,7 @@ impl SentinelPolicy {
             events: EventQueue::new(),
             boundary_retries_seen: 0,
             solver_error: None,
+            adapt,
         }
     }
 
@@ -236,6 +243,12 @@ impl SentinelPolicy {
     /// (the profiling hook cannot return a `Result`). Take-once.
     pub fn take_solver_error(&mut self) -> Option<SentinelError> {
         self.solver_error.take()
+    }
+
+    /// The adaptation-loop counters, if the adaptive loop is enabled.
+    #[must_use]
+    pub fn adapt_report(&self) -> Option<&AdaptReport> {
+        self.adapt.as_ref().map(|a| &a.report)
     }
 
     // ------------------------------------------------------------- helpers
@@ -286,6 +299,7 @@ impl SentinelPolicy {
                 &filtered
             }
         };
+        let demand_only = self.adapt.as_ref().map(|a| &a.demand_only);
         let page_size = ctx.mem().page_size();
         let mut budget = self.free_for_long_pages(ctx);
         // Time budget: never queue more copy work than roughly two intervals
@@ -306,6 +320,10 @@ impl SentinelPolicy {
         let mut blocked = false;
         for &t in tensors {
             if !ctx.is_live(t) {
+                continue;
+            }
+            // Tensors degraded by a failed adaptation stay demand-paged.
+            if demand_only.is_some_and(|d| d.contains(&t)) {
                 continue;
             }
             let bytes = ctx.tensor_bytes_in(t, Tier::Slow);
@@ -365,12 +383,19 @@ impl SentinelPolicy {
                 .schedule(ready, EventKind::FaultFiring { retries: retries - self.boundary_retries_seen });
         }
         self.boundary_retries_seen = retries;
+        if self.adapt.is_some() {
+            // The drift hook fires after everything else at this instant,
+            // observing the boundary's settled classification.
+            self.events.schedule(now, EventKind::DriftCheck);
+        }
         let mut landed = false;
         let mut case1 = false;
+        let mut drift_checked = false;
         while let Some(ev) = self.events.pop_due(now) {
             match ev.kind {
                 EventKind::MigrationReady => landed = true,
                 EventKind::IntervalBoundary { .. } => case1 = landed,
+                EventKind::DriftCheck => drift_checked = true,
                 EventKind::SanitizerSample => {
                     // Boundary-time invariant validation (read-only; the
                     // sampled event-driven sanitizer covers the hot path).
@@ -391,6 +416,14 @@ impl SentinelPolicy {
         // Whatever did not fire (an unfinished copy, an unresolved fault)
         // is exactly the Case-3 condition handled below.
         self.events.clear();
+        if drift_checked {
+            if let Some(adapt) = self.adapt.as_mut() {
+                adapt.report.boundary_checks += 1;
+                if !case1 {
+                    adapt.report.boundary_misses += 1;
+                }
+            }
+        }
         if case1 {
             return; // Case 1: everything landed in time.
         }
@@ -787,7 +820,218 @@ impl SentinelPolicy {
         }
 
         // Warm fast memory for the first managed interval.
+        if self.adapt.is_some() {
+            // Per-layer slow-access attribution is the drift localizer's
+            // evidence (pure counting in the memory system, no timing).
+            ctx.mem_mut().enable_slow_attribution(graph.num_layers());
+        }
         self.prefetch_for_interval(0, ctx);
+    }
+
+    // ------------------------------------------------ adaptive control loop
+
+    /// Managed-step entry for the adaptive loop: snapshot the per-step
+    /// drift signals, zero the per-layer attribution, and arm any pending
+    /// incremental re-profile before the step's first access.
+    fn adapt_step_begin(&mut self, ctx: &mut ExecCtx<'_>) {
+        let stall_total = self.stats.stall_case3_ns + self.stats.stall_fault_ns;
+        let Some(adapt) = self.adapt.as_mut() else { return };
+        adapt.step_slow0 = ctx.mem().stats().mm_accesses[Tier::Slow.index()];
+        adapt.step_stall0 = stall_total;
+        ctx.mem_mut().reset_slow_attribution();
+        let Some(pending) = adapt.pending.take() else { return };
+        if adapt.cfg.force_reprofile_fault {
+            adapt.degrade_observation(&pending.tensors, "forced re-profile fault (test hook)");
+            return;
+        }
+        // Poison the targets already resident; ones (re)allocated later in
+        // the step are poisoned by `on_alloc` as they arrive.
+        let mut ranges = HashMap::new();
+        let mut poison: Vec<PageRange> = Vec::new();
+        for &t in &pending.tensors {
+            if let Some(a) = ctx.placement(t) {
+                ranges.insert(t, a.pages);
+                poison.push(a.pages);
+            }
+        }
+        ctx.mem_mut().start_profiling_ranges(&poison);
+        adapt.observing = Some(Observation {
+            layers: pending.layers.iter().copied().collect(),
+            tensors: pending.tensors,
+            ranges,
+            finalized: HashMap::new(),
+            layer_mark: None,
+            layer_times: Vec::new(),
+        });
+        adapt.report.observation_steps += 1;
+    }
+
+    /// Managed-step exit for the adaptive loop: either close the running
+    /// observation (merge + re-solve), or feed the detectors and decide
+    /// whether to schedule one.
+    fn adapt_step_end(&mut self, ctx: &mut ExecCtx<'_>) {
+        if self.adapt.as_ref().is_some_and(|a| a.observing.is_some()) {
+            self.finish_observation(ctx);
+            return;
+        }
+        let stall_total = self.stats.stall_case3_ns + self.stats.stall_fault_ns;
+        let num_layers = ctx.graph().num_layers();
+        let Some(adapt) = self.adapt.as_mut() else { return };
+        let slow = ctx.mem().stats().mm_accesses[Tier::Slow.index()] - adapt.step_slow0;
+        let stall = stall_total - adapt.step_stall0;
+        let slow_v = adapt.slow_detector.observe(slow as f64);
+        let stall_v = adapt.stall_detector.observe(stall as f64);
+        let drifted = matches!(slow_v, DriftVerdict::Drifted { .. })
+            || matches!(stall_v, DriftVerdict::Drifted { .. });
+        let attribution = ctx.mem().slow_attribution().map(<[u64]>::to_vec);
+        if !drifted {
+            adapt.drift_handled = false;
+            if adapt.layer_baseline.is_none() {
+                // First calm step under the current plan: its per-layer
+                // traffic is the localizer's reference.
+                adapt.layer_baseline = attribution;
+            }
+            return;
+        }
+        if adapt.drift_handled {
+            return; // one action per excursion
+        }
+        adapt.drift_handled = true;
+        adapt.report.drift_events += 1;
+        if adapt.resolves >= adapt.cfg.max_resolves_per_run {
+            if !adapt.limit_warned {
+                adapt.limit_warned = true;
+                let limit = adapt.cfg.max_resolves_per_run;
+                adapt.warn(&AdaptWarning::ResolveLimitReached { limit });
+            }
+            return;
+        }
+        let (layers, full) = adapt.divergent_layers(attribution.as_deref(), num_layers);
+        let mut tensors: Vec<TensorId> = match self.schedule.as_ref() {
+            Some(schedule) if full => schedule.long_tensor_ids().to_vec(),
+            Some(schedule) => layers
+                .iter()
+                .flat_map(|&l| schedule.long_tensors_in_layer(l).iter().copied())
+                .collect(),
+            None => Vec::new(),
+        };
+        tensors.sort_unstable();
+        tensors.dedup();
+        if tensors.is_empty() {
+            adapt.warn(&AdaptWarning::ReprofileFault {
+                detail: "no long-lived tensors to observe".to_owned(),
+            });
+            return;
+        }
+        adapt.pending = Some(PendingObservation { layers, tensors });
+    }
+
+    /// Close the observation step: merge the measured deltas into the
+    /// profile and re-solve the plan on the result.
+    fn finish_observation(&mut self, ctx: &mut ExecCtx<'_>) {
+        let map = ctx.mem_mut().stop_profiling();
+        let Some(adapt) = self.adapt.as_mut() else { return };
+        let Some(obs) = adapt.observing.take() else { return };
+        let mut deltas: Vec<TensorDelta> = Vec::new();
+        for &t in &obs.tensors {
+            if let Some(&(page_faults, pages)) = obs.finalized.get(&t) {
+                deltas.push(TensorDelta { id: t, page_faults, pages });
+            } else if let Some(&range) = obs.ranges.get(&t) {
+                deltas
+                    .push(TensorDelta { id: t, page_faults: map.count_range(range), pages: range.count });
+            }
+        }
+        if deltas.is_empty() {
+            adapt.degrade_observation(&obs.tensors, "observation saw no resident pages");
+            return;
+        }
+        let Some(profile) = self.profile.as_mut() else { return };
+        profile.merge_observation(&deltas, &obs.layer_times);
+        self.resolve_plan(&obs.tensors, ctx);
+    }
+
+    /// Re-run the interval solver on the merged profile and swap the new
+    /// plan in at this step boundary; on failure keep the old plan and
+    /// degrade the divergent tensors to demand paging.
+    fn resolve_plan(&mut self, divergent: &[TensorId], ctx: &mut ExecCtx<'_>) {
+        let graph = ctx.graph();
+        // Solve against what admission control will actually grant: a
+        // co-tenant quota caps the allocatable fast tier below the
+        // configured capacity, and a plan sized for the configured tier
+        // would chase space that no longer exists. Without a quota this is
+        // exactly the initial solve's capacity, and the reserve clamp is a
+        // no-op (the initial reserve is already at most half the tier).
+        let page_size = ctx.mem().page_size();
+        let fast_bytes = ctx.mem().effective_fast_capacity_bytes();
+        self.reserve_pages = self.reserve_pages.min(pages_for_bytes(fast_bytes, page_size) / 2);
+        let reserve_bytes = self.reserve_pages * page_size;
+        let bw = ctx.mem().effective_promote_bw_bytes_per_ns();
+        let force_zero = self.adapt.as_ref().is_some_and(|a| a.cfg.force_zero_budget);
+        let solved = if force_zero {
+            Err(SentinelError::ZeroMigrationBudget {
+                fast_bytes,
+                reserve_bytes: fast_bytes.max(reserve_bytes),
+            })
+        } else {
+            let (Some(schedule), Some(profile)) = (self.schedule.as_ref(), self.profile.as_ref())
+            else {
+                return;
+            };
+            solve_mil(graph, schedule, profile, fast_bytes, reserve_bytes, bw)
+        };
+        match solved {
+            Ok(solution) => {
+                let mil =
+                    self.cfg.mil_override.unwrap_or(solution.mil).min(graph.num_layers().max(1)).max(1);
+                let plan = IntervalPlan::new(mil, graph.num_layers().max(1));
+                let mut sets = None;
+                if self.cfg.interval_set_table {
+                    if let (Some(schedule), Some(profile)) =
+                        (self.schedule.as_ref(), self.profile.as_ref())
+                    {
+                        let hot = self.cfg.hot_first.then_some(profile);
+                        sets = Some(IntervalSets::build(schedule, &plan, hot));
+                    }
+                }
+                // Reconcile in-flight work queued for the outgoing plan.
+                let now = ctx.now();
+                ctx.mem_mut().cancel_pending_migrations(now);
+                self.plan = Some(plan);
+                self.interval_sets = sets;
+                self.stats.mil = mil;
+                self.mil_solution = Some(solution);
+                self.case3_states.clear();
+                self.case2_pending.clear();
+                self.interval_mark = None;
+                if let Some(adapt) = self.adapt.as_mut() {
+                    adapt.resolves += 1;
+                    adapt.report.resolves += 1;
+                    adapt.demand_only.clear();
+                    adapt.report.degraded_tensors = 0;
+                    // Recalibrate against the new plan's steady state.
+                    adapt.slow_detector.reset();
+                    adapt.stall_detector.reset();
+                    adapt.layer_baseline = None;
+                    adapt.drift_handled = false;
+                }
+                // Warm fast memory for the new plan's first interval (the
+                // next step starts at layer 0).
+                self.prefetch_for_interval(0, ctx);
+            }
+            Err(e) => {
+                let warning = match e {
+                    SentinelError::ZeroMigrationBudget { fast_bytes, reserve_bytes } => {
+                        AdaptWarning::ResolveZeroBudget { fast_bytes, reserve_bytes }
+                    }
+                    other => AdaptWarning::ResolveFailed { detail: other.to_string() },
+                };
+                if let Some(adapt) = self.adapt.as_mut() {
+                    adapt.warn(&warning);
+                    adapt.demand_only.extend(divergent.iter().copied());
+                    adapt.report.degraded_tensors = adapt.demand_only.len() as u64;
+                }
+            }
+        }
     }
 }
 
@@ -810,6 +1054,9 @@ impl MemoryManager for SentinelPolicy {
         if self.phase == Phase::Profiling && ctx.step() == self.profiling_step_index() {
             self.prof_recording = true;
             ctx.mem_mut().start_profiling();
+        }
+        if self.phase == Phase::Managed && self.adapt.is_some() {
+            self.adapt_step_begin(ctx);
         }
     }
 
@@ -854,7 +1101,21 @@ impl MemoryManager for SentinelPolicy {
         let t = ctx.tensor(tensor);
         if self.phase == Phase::Profiling {
             self.prof_pages[tensor.index()] = ctx.placement(tensor).map(|a| a.pages);
-        } else if t.is_short_lived() {
+            return;
+        }
+        // A watched tensor (re)allocated mid-observation: poison its fresh
+        // mapping so its accesses keep reaching the fault counter.
+        if let Some(adapt) = self.adapt.as_mut() {
+            if let Some(obs) = adapt.observing.as_mut() {
+                if obs.tensors.binary_search(&tensor).is_ok() {
+                    if let Some(range) = ctx.placement(tensor).map(|a| a.pages) {
+                        obs.ranges.insert(tensor, range);
+                        ctx.mem_mut().poison_range(range);
+                    }
+                }
+            }
+        }
+        if t.is_short_lived() {
             self.live_short_bytes += t.bytes;
             // Sanitizer bookkeeping: a short-lived tensor that starts fully
             // fast-resident must still be fully fast-resident when freed
@@ -872,6 +1133,17 @@ impl MemoryManager for SentinelPolicy {
 
     fn on_free(&mut self, tensor: TensorId, ctx: &mut ExecCtx<'_>) {
         if self.phase == Phase::Managed {
+            // A watched tensor dying mid-observation: finalize its fault
+            // count now, before the pool reuses (and re-faults) its pages.
+            if let Some(adapt) = self.adapt.as_mut() {
+                if let Some(obs) = adapt.observing.as_mut() {
+                    if let Some(range) = obs.ranges.remove(&tensor) {
+                        let faults =
+                            ctx.mem().profiler().map_or(0, |p| p.map().count_range(range));
+                        obs.finalized.insert(tensor, (faults, range.count));
+                    }
+                }
+            }
             let t = ctx.tensor(tensor);
             if t.is_short_lived() {
                 self.live_short_bytes = self.live_short_bytes.saturating_sub(t.bytes);
@@ -989,6 +1261,15 @@ impl MemoryManager for SentinelPolicy {
             }
             return;
         }
+        if let Some(adapt) = self.adapt.as_mut() {
+            // Attribute this layer's slow-memory traffic to its bucket.
+            ctx.mem_mut().set_attribution_bucket(layer);
+            if let Some(obs) = adapt.observing.as_mut() {
+                if obs.layers.contains(&layer) {
+                    obs.layer_mark = Some((layer, ctx.now(), ctx.breakdown().profiling_fault_ns));
+                }
+            }
+        }
         let Some(plan) = self.plan.as_ref() else { return };
         if !plan.is_interval_start(layer) {
             return;
@@ -1026,6 +1307,19 @@ impl MemoryManager for SentinelPolicy {
                 }
             }
             Phase::Managed => {
+                if let Some(adapt) = self.adapt.as_mut() {
+                    if let Some(obs) = adapt.observing.as_mut() {
+                        if let Some((l, t0, f0)) = obs.layer_mark.take() {
+                            if l == layer {
+                                let wall = ctx.now() - t0;
+                                let fault = ctx.breakdown().profiling_fault_ns - f0;
+                                obs.layer_times.push((l, wall.saturating_sub(fault)));
+                            } else {
+                                obs.layer_mark = Some((l, t0, f0));
+                            }
+                        }
+                    }
+                }
                 let Some(plan) = self.plan.as_ref() else { return };
                 let k = plan.interval_of(layer);
                 let window = if self.cfg.lookahead { k + 2 } else { k + 1 };
@@ -1075,6 +1369,13 @@ impl MemoryManager for SentinelPolicy {
         if self.trial_step_flag {
             self.stats.trial_steps += 1;
         }
+        if self.adapt.is_some() {
+            self.adapt_step_end(ctx);
+        }
+    }
+
+    fn step_warnings(&mut self) -> Vec<String> {
+        self.adapt.as_mut().map(|a| std::mem::take(&mut a.step_warnings)).unwrap_or_default()
     }
 
     fn step_ledger(&mut self, ctx: &ExecCtx<'_>) -> Vec<IntervalRecord> {

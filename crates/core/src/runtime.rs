@@ -1,5 +1,6 @@
 //! High-level runtime wrapper: profile, reorganize, train.
 
+use crate::adapt::AdaptReport;
 use crate::config::SentinelConfig;
 use crate::error::SentinelError;
 use crate::interval::MilSolution;
@@ -40,6 +41,9 @@ pub struct SentinelOutcome {
     /// The structured trace, if recording was enabled with
     /// [`SentinelRuntime::with_trace`] (`None` otherwise).
     pub trace: Option<Trace>,
+    /// Adaptation-loop counters, present iff `SentinelConfig::adaptive`
+    /// was set (all-zero when the loop never tripped).
+    pub adapt: Option<AdaptReport>,
 }
 
 /// Convenience wrapper running the full Sentinel pipeline.
@@ -139,6 +143,9 @@ impl SentinelRuntime {
     pub fn train(&self, graph: &Graph, steps: usize) -> Result<SentinelOutcome, SentinelError> {
         let mut mem = MemorySystem::new(self.hm.clone());
         mem.set_time_mode(self.time_mode);
+        if let Some(retry) = self.cfg.retry {
+            mem.set_retry_policy(retry);
+        }
         if let Some((profile, seed)) = &self.fault {
             mem.set_fault_injector(FaultInjector::new(*profile, *seed));
         }
@@ -164,6 +171,7 @@ impl SentinelRuntime {
             profile: policy.profile().cloned(),
             fault_counters: exec.ctx().mem().fault_counters(),
             trace: exec.ctx().mem().tracer().take(),
+            adapt: policy.adapt_report().cloned(),
             report,
         })
     }

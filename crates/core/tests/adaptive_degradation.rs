@@ -1,0 +1,102 @@
+//! The degradation ladder of the adaptive control loop: when re-profiling
+//! faults or the re-solve finds no migration budget, the run must stay
+//! alive on the old plan with a typed warning in the step report — never a
+//! panic and never a silent wrong answer.
+//!
+//! Both failure modes are forced through the `#[doc(hidden)]` test hooks on
+//! `AdaptConfig`, layered on the same mid-run capacity-loss scenario the
+//! bench `adaptive` experiment uses.
+
+use sentinel_core::{fast_sized_for, AdaptConfig, AdaptReport, SentinelConfig, SentinelPolicy};
+use sentinel_dnn::{Executor, StepReport};
+use sentinel_mem::{HmConfig, MemorySystem};
+use sentinel_models::{ModelSpec, ModelZoo};
+
+const PRE_STEPS: usize = 6;
+const TOTAL_STEPS: usize = 16;
+
+/// Drive the capacity-loss scenario with the given adaptive tuning and
+/// return every step report plus the final adaptation report.
+fn drive(adapt: AdaptConfig) -> (Vec<StepReport>, AdaptReport) {
+    let spec = ModelSpec::resnet(32, 64).with_scale(4);
+    let graph = ModelZoo::build(&spec).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like(), &graph, 0.2);
+    let quota_pages = hm.fast.capacity_bytes / hm.page_size / 2;
+    let mut exec = Executor::new(&graph, MemorySystem::new(hm));
+    let mut policy = SentinelPolicy::new(SentinelConfig::default().with_adaptive(adapt));
+    let mut reports = Vec::new();
+    for step in 0..TOTAL_STEPS {
+        if step == PRE_STEPS {
+            exec.ctx_mut().mem_mut().set_fast_quota_pages(Some(quota_pages));
+            let excess = exec.ctx().mem().fast_quota_excess_pages();
+            policy.demote_cold_for_quota(excess, exec.ctx_mut());
+        }
+        reports.push(exec.run_step(&mut policy).expect("degraded run completes"));
+    }
+    assert!(policy.take_solver_error().is_none(), "no solver error may escape");
+    assert!(policy.violation().is_none(), "no residency violation");
+    let adapt = policy.adapt_report().cloned().expect("adaptive loop was on");
+    (reports, adapt)
+}
+
+/// Collect every warning surfaced through the step reports.
+fn step_warnings(reports: &[StepReport]) -> Vec<String> {
+    reports.iter().flat_map(|r| r.warnings.iter().cloned()).collect()
+}
+
+#[test]
+fn healthy_loop_recovers_without_warnings() {
+    let (reports, adapt) = drive(AdaptConfig::default());
+    assert_eq!(reports.len(), TOTAL_STEPS);
+    assert!(adapt.drift_events >= 1);
+    assert_eq!(adapt.resolves, 1, "{adapt:?}");
+    assert_eq!(adapt.degraded_tensors, 0, "{adapt:?}");
+    assert!(step_warnings(&reports).is_empty(), "clean recovery raises no warnings");
+}
+
+#[test]
+fn forced_reprofile_fault_degrades_to_demand_paging_and_survives() {
+    let (reports, adapt) =
+        drive(AdaptConfig { force_reprofile_fault: true, ..AdaptConfig::default() });
+    assert_eq!(reports.len(), TOTAL_STEPS, "the run stays alive on the old plan");
+    assert!(adapt.drift_events >= 1, "{adapt:?}");
+    assert_eq!(adapt.resolves, 0, "a faulted observation must not feed a re-solve");
+    assert!(adapt.degraded_tensors > 0, "divergent tensors fall back to demand paging: {adapt:?}");
+    let warnings = step_warnings(&reports);
+    assert!(
+        warnings.iter().any(|w| w.contains("re-profile failed")),
+        "typed warning surfaced in the step report: {warnings:?}"
+    );
+    // The latched report carries the same warnings.
+    assert!(adapt.warnings.iter().any(|w| w.contains("re-profile failed")), "{adapt:?}");
+}
+
+#[test]
+fn forced_zero_budget_resolve_keeps_the_old_plan_and_survives() {
+    let (reports, adapt) = drive(AdaptConfig { force_zero_budget: true, ..AdaptConfig::default() });
+    assert_eq!(reports.len(), TOTAL_STEPS, "the run stays alive on the old plan");
+    assert!(adapt.observation_steps >= 1, "the observation step itself succeeded: {adapt:?}");
+    assert_eq!(adapt.resolves, 0, "a zero-budget solve must not swap a plan in");
+    assert!(adapt.degraded_tensors > 0, "{adapt:?}");
+    let warnings = step_warnings(&reports);
+    assert!(
+        warnings.iter().any(|w| w.contains("zero migration budget")),
+        "typed warning surfaced in the step report: {warnings:?}"
+    );
+    assert!(adapt.warnings.iter().any(|w| w.contains("zero migration budget")), "{adapt:?}");
+}
+
+#[test]
+fn resolve_budget_exhaustion_latches_a_warning_instead_of_oscillating() {
+    let (reports, adapt) =
+        drive(AdaptConfig { max_resolves_per_run: 0, ..AdaptConfig::default() });
+    assert_eq!(reports.len(), TOTAL_STEPS);
+    assert!(adapt.drift_events >= 1, "{adapt:?}");
+    assert_eq!(adapt.resolves, 0, "{adapt:?}");
+    assert_eq!(adapt.observation_steps, 0, "no budget, no observation step: {adapt:?}");
+    let warnings = step_warnings(&reports);
+    assert!(
+        warnings.iter().any(|w| w.contains("re-solve budget")),
+        "typed warning surfaced in the step report: {warnings:?}"
+    );
+}

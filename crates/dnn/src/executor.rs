@@ -173,6 +173,7 @@ impl<'g> Executor<'g> {
         // per-step ledger sums reconcile with the report deltas exactly.
         let intervals =
             if tracer.enabled() { policy.step_ledger(&self.ctx) } else { Vec::new() };
+        let warnings = policy.step_warnings();
         if tracer.enabled() {
             tracer.span(
                 TraceTrack::Steps,
@@ -203,6 +204,7 @@ impl<'g> Executor<'g> {
                 + stats_after.peak_mapped_pages[Tier::Slow.index()],
             fault: self.ctx.mem().fault_counters().delta(&faults_before),
             intervals,
+            warnings,
         })
     }
 

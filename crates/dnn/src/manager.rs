@@ -81,6 +81,16 @@ pub trait MemoryManager {
         Vec::new()
     }
 
+    /// Drain human-readable warnings raised during the step that just ended
+    /// (e.g. an adaptive policy's degraded re-solve). Invoked by the
+    /// executor after the step's final poll, every step — unlike
+    /// [`MemoryManager::step_ledger`] this is not gated on tracing, so a
+    /// degraded run surfaces its warnings even in plain reports. Policies
+    /// with nothing to report keep the empty default.
+    fn step_warnings(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Called once after the last step.
     fn on_train_end(&mut self, ctx: &mut ExecCtx<'_>) {}
 }

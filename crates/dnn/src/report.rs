@@ -88,6 +88,9 @@ pub struct StepReport {
     /// Per-interval migration ledger (empty unless tracing was enabled and
     /// the policy tracks intervals).
     pub intervals: Vec<IntervalRecord>,
+    /// Policy warnings raised during the step (e.g. a degraded adaptive
+    /// re-solve); empty on healthy runs and serialized only when non-empty.
+    pub warnings: Vec<String>,
 }
 
 impl StepReport {
@@ -305,6 +308,20 @@ mod tests {
     }
 
     #[test]
+    fn warnings_serialize_only_when_present() {
+        let pristine = StepReport::default().to_json();
+        assert!(pristine.get("warnings").is_none());
+        let mut s = StepReport::default();
+        s.warnings.push("re-solve degraded".to_string());
+        match s.to_json().get("warnings") {
+            Some(Json::Arr(rows)) => {
+                assert_eq!(rows[0], Json::Str("re-solve degraded".to_string()));
+            }
+            other => panic!("warnings not serialized as an array: {other:?}"),
+        }
+    }
+
+    #[test]
     fn interval_ledger_serializes_only_when_present() {
         let pristine = StepReport::default().to_json();
         assert!(pristine.get("intervals").is_none());
@@ -376,6 +393,9 @@ impl ToJson for StepReport {
         }
         if !self.intervals.is_empty() {
             members.push(("intervals", self.intervals.to_json()));
+        }
+        if !self.warnings.is_empty() {
+            members.push(("warnings", self.warnings.to_json()));
         }
         Json::obj(members)
     }

@@ -66,6 +66,53 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Read a retry-policy override from the environment:
+    /// `SENTINEL_RETRY_MAX_ATTEMPTS` (decimal) and
+    /// `SENTINEL_RETRY_BACKOFF_NS` (decimal nanoseconds). Setting either
+    /// variable activates the override; an absent knob keeps its
+    /// [`RetryPolicy::default`] value. Mirrors the `SENTINEL_FAULT_*`
+    /// conventions: `None` when neither variable is set, a hard error (never
+    /// a silent fallback) when one is malformed.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed variable.
+    pub fn from_env() -> Result<Option<RetryPolicy>, String> {
+        let attempts = std::env::var("SENTINEL_RETRY_MAX_ATTEMPTS").ok();
+        let backoff = std::env::var("SENTINEL_RETRY_BACKOFF_NS").ok();
+        if attempts.is_none() && backoff.is_none() {
+            return Ok(None);
+        }
+        let mut policy = RetryPolicy::default();
+        if let Some(raw) = attempts {
+            let raw = raw.trim();
+            policy.max_attempts = raw
+                .parse::<u32>()
+                .map_err(|_| format!("SENTINEL_RETRY_MAX_ATTEMPTS: not an integer: {raw:?}"))?;
+        }
+        if let Some(raw) = backoff {
+            let raw = raw.trim();
+            policy.backoff_ns = raw
+                .parse::<Ns>()
+                .map_err(|_| format!("SENTINEL_RETRY_BACKOFF_NS: not an integer: {raw:?}"))?;
+        }
+        Ok(Some(policy))
+    }
+}
+
+/// Attribution of slow-tier main-memory accesses to caller-defined buckets
+/// (the Sentinel policy uses one bucket per layer). The owner points the
+/// cursor at a bucket before issuing accesses; every slow-tier access landed
+/// while the cursor rests there is charged to that bucket. Accesses issued
+/// with the cursor out of range (or before any bucket is selected) are
+/// dropped, so partial instrumentation stays safe.
+#[derive(Debug, Clone, Default)]
+struct SlowAttribution {
+    bucket: usize,
+    counts: Vec<u64>,
+}
+
 /// When the residency sanitizer revalidates the page-table invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SanitizerMode {
@@ -132,6 +179,15 @@ pub struct MemorySystem {
     cache: Option<CacheFilter>,
     memmode: Option<MemoryModeCache>,
     profiler: Option<PageAccessProfiler>,
+    /// Whether the active profiling phase poisons only caller-chosen ranges
+    /// (incremental re-profiling): suppresses the poison-on-map default so
+    /// unrelated fresh mappings stay fault-free during the observation step.
+    selective_profiling: bool,
+    /// Per-bucket attribution of slow-tier main-memory accesses (`None`,
+    /// the default, adds nothing to the access path). Pure counting: it
+    /// never changes timing, stats or reports, so enabling it is
+    /// byte-transparent to everything but its own counters.
+    attribution: Option<SlowAttribution>,
     stats: MemStats,
     timeline: Option<StatsTimeline>,
     unmapped_accesses: u64,
@@ -176,6 +232,8 @@ impl MemorySystem {
             cache,
             memmode: None,
             profiler: None,
+            selective_profiling: false,
+            attribution: None,
             stats: MemStats::default(),
             timeline: None,
             unmapped_accesses: 0,
@@ -230,7 +288,7 @@ impl MemorySystem {
             return Err(MemError::CapacityExceeded { tier, requested_pages: range.count, free_pages: free });
         }
         self.table.set_state(range, PageState::Mapped(tier));
-        if self.profiler.is_some() {
+        if self.profiler.is_some() && !self.selective_profiling {
             self.table.set_poisoned(range, true);
         }
         self.used_pages[tier.index()] += range.count;
@@ -369,6 +427,7 @@ impl MemorySystem {
             return report;
         }
         self.last_now = self.last_now.max(now);
+        let slow0 = self.stats.mm_accesses[Tier::Slow.index()];
         let write = kind.is_write();
         let per_model = (bytes / range.count).max(1);
         let base = bytes / range.count;
@@ -479,7 +538,7 @@ impl MemorySystem {
             }
         }
 
-        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write, now);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, slow0, write, now);
         report
     }
 
@@ -496,6 +555,7 @@ impl MemorySystem {
             return report;
         }
         self.last_now = self.last_now.max(now);
+        let slow0 = self.stats.mm_accesses[Tier::Slow.index()];
         let write = kind.is_write();
         let per_model = (bytes / range.count).max(1);
         let base = bytes / range.count;
@@ -556,7 +616,7 @@ impl MemorySystem {
             self.record_traffic(tier, per_model, write, now);
         }
 
-        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, write, now);
+        self.finish_access(&mut report, range, cache_model_bytes, tier_model_bytes, tier_touched, slow0, write, now);
         report
     }
 
@@ -576,9 +636,22 @@ impl MemorySystem {
         cache_model_bytes: u64,
         tier_model_bytes: [u64; 2],
         tier_touched: [bool; 2],
+        slow_accesses_before: u64,
         write: bool,
         now: Ns,
     ) {
+        // Attribute this access's slow-tier page count (the delta of the
+        // shared `mm_accesses` counter, so Memory-Mode traffic is covered
+        // and both pipelines charge identically) to the current bucket.
+        if let Some(attr) = &mut self.attribution {
+            let delta =
+                self.stats.mm_accesses[Tier::Slow.index()] - slow_accesses_before;
+            if delta > 0 {
+                if let Some(c) = attr.counts.get_mut(attr.bucket) {
+                    *c += delta;
+                }
+            }
+        }
         for tier in Tier::both() {
             if tier_touched[tier.index()] {
                 report.elapsed_ns +=
@@ -1063,6 +1136,7 @@ impl MemorySystem {
     /// faults and is counted (paper Section III-A).
     pub fn start_profiling(&mut self) {
         self.profiler = Some(PageAccessProfiler::new());
+        self.selective_profiling = false;
         self.table.poison_all_mapped();
         if let Some(cache) = &mut self.cache {
             // The paper flushes the TLB; flushing the cache filter keeps the
@@ -1072,10 +1146,48 @@ impl MemorySystem {
         self.sanitize_rare();
     }
 
+    /// Begin a *selective* profiling phase: only the given ranges are
+    /// poisoned, and — unlike [`MemorySystem::start_profiling`] — fresh
+    /// mappings arrive unpoisoned. This is the incremental re-profiling
+    /// primitive: an observation step counts faults for a suspect subset of
+    /// tensors while the rest of the run proceeds fault-free. Ranges must be
+    /// reserved (mapped or not); out-of-range poisoning is a caller bug.
+    /// Ended by the same [`MemorySystem::stop_profiling`].
+    pub fn start_profiling_ranges(&mut self, ranges: &[PageRange]) {
+        self.profiler = Some(PageAccessProfiler::new());
+        self.selective_profiling = true;
+        for &range in ranges {
+            if !range.is_empty() {
+                self.table.set_poisoned(range, true);
+            }
+        }
+        if let Some(cache) = &mut self.cache {
+            // Same shootdown cost as a full poison pass: the first profiled
+            // access of each page must reach the counter.
+            cache.flush();
+        }
+        self.sanitize_rare();
+    }
+
+    /// Poison one more range during an active profiling phase (no-op
+    /// otherwise, so callers need not re-check the phase). A selective
+    /// observation uses this when a watched tensor is (re)allocated
+    /// mid-step: its fresh mapping arrives unpoisoned and would otherwise
+    /// escape the fault counter.
+    pub fn poison_range(&mut self, range: PageRange) {
+        if self.profiler.is_some() && !range.is_empty() {
+            self.table.set_poisoned(range, true);
+            if let Some(cache) = &mut self.cache {
+                cache.flush();
+            }
+        }
+    }
+
     /// End the profiling phase, unpoisoning all pages and returning the
     /// collected per-page access counts.
     pub fn stop_profiling(&mut self) -> PageAccessMap {
         self.table.unpoison_all();
+        self.selective_profiling = false;
         let map = self.profiler.take().map(PageAccessProfiler::into_map).unwrap_or_default();
         self.sanitize_rare();
         map
@@ -1085,6 +1197,48 @@ impl MemorySystem {
     #[must_use]
     pub fn profiling(&self) -> bool {
         self.profiler.is_some()
+    }
+
+    /// Whether the active profiling phase is selective (range-poisoned).
+    #[must_use]
+    pub fn profiling_selective(&self) -> bool {
+        self.profiler.is_some() && self.selective_profiling
+    }
+
+    // ------------------------------------------------------- attribution
+
+    /// Start attributing slow-tier main-memory accesses to `buckets`
+    /// caller-defined buckets (counts reset to zero). Counting only — no
+    /// timing, stats or report changes — so byte-transparent to the rest of
+    /// the system. The cursor starts out of range: accesses before the first
+    /// [`MemorySystem::set_attribution_bucket`] are dropped.
+    pub fn enable_slow_attribution(&mut self, buckets: usize) {
+        self.attribution = Some(SlowAttribution { bucket: usize::MAX, counts: vec![0; buckets] });
+    }
+
+    /// Stop attributing and drop the counters.
+    pub fn disable_slow_attribution(&mut self) {
+        self.attribution = None;
+    }
+
+    /// Point the attribution cursor at `bucket` (out-of-range drops counts).
+    pub fn set_attribution_bucket(&mut self, bucket: usize) {
+        if let Some(attr) = &mut self.attribution {
+            attr.bucket = bucket;
+        }
+    }
+
+    /// The per-bucket slow-access counts, if attribution is enabled.
+    #[must_use]
+    pub fn slow_attribution(&self) -> Option<&[u64]> {
+        self.attribution.as_ref().map(|a| a.counts.as_slice())
+    }
+
+    /// Zero the attribution counters, keeping attribution enabled.
+    pub fn reset_slow_attribution(&mut self) {
+        if let Some(attr) = &mut self.attribution {
+            attr.counts.iter_mut().for_each(|c| *c = 0);
+        }
     }
 
     // ------------------------------------------------------------ modes
@@ -1182,6 +1336,27 @@ impl MemorySystem {
             Some(q) => self.used_pages[Tier::Fast.index()].saturating_sub(q),
             None => 0,
         }
+    }
+
+    /// The allocatable fast-tier capacity in bytes after any quota cap —
+    /// what a capacity-aware planner should solve against. Identical to the
+    /// configured capacity when no quota is imposed.
+    #[must_use]
+    pub fn effective_fast_capacity_bytes(&self) -> u64 {
+        let cap = self.config().fast.capacity_bytes;
+        match self.fast_quota_pages {
+            Some(q) => cap.min(q.saturating_mul(self.page_size())),
+            None => cap,
+        }
+    }
+
+    /// The promote-channel bandwidth after the migration lane share — what
+    /// a bandwidth-aware planner should solve against. Identical to the
+    /// configured bandwidth at the default `1/1` share.
+    #[must_use]
+    pub fn effective_promote_bw_bytes_per_ns(&self) -> f64 {
+        let (num, den) = self.engine.lane_share();
+        self.config().promote_bw_bytes_per_ns * num as f64 / den as f64
     }
 
     /// Scale both migration channels to `num / den` of the platform's

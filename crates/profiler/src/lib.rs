@@ -24,5 +24,5 @@ mod run;
 
 pub use characterize::{characterize, Characterization, HotBucket};
 pub use falseshare::{analyze_false_sharing, FalseSharingReport};
-pub use profile::{ProfileReport, TensorProfile};
+pub use profile::{ProfileReport, TensorDelta, TensorProfile};
 pub use run::Profiler;

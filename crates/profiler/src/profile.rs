@@ -38,6 +38,19 @@ impl TensorProfile {
     }
 }
 
+/// One tensor's re-measured access statistics from an incremental
+/// observation step (selective re-profiling), to be folded into an existing
+/// [`ProfileReport`] with [`ProfileReport::merge_observation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorDelta {
+    /// The tensor whose profile is being replaced.
+    pub id: TensorId,
+    /// Raw poison faults counted over the tensor's pages this observation.
+    pub page_faults: u64,
+    /// Pages the tensor occupied during the observation.
+    pub pages: u64,
+}
+
 /// Result of a tensor-level profiling step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
@@ -129,6 +142,34 @@ impl ProfileReport {
         }
     }
 
+    /// Fold an incremental observation into the profile: the named tensors'
+    /// access statistics are *replaced* by their re-measured values (the
+    /// per-page normalization matching the profiling step: faults rounded up
+    /// per occupied page), the named layers' times are replaced, and the
+    /// derived prefix sums and total fault count are rebuilt. Tensors and
+    /// layers not named keep their existing statistics — this is the
+    /// delta-merge primitive of the adaptive control loop's re-profiler.
+    /// Out-of-range layer indices are skipped (the graph cannot have grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delta names a tensor outside the profiled graph.
+    pub fn merge_observation(&mut self, deltas: &[TensorDelta], layer_times: &[(usize, Ns)]) {
+        for d in deltas {
+            let t = &mut self.tensors[d.id.index()];
+            t.page_faults = d.page_faults;
+            t.pages = d.pages;
+            t.mm_accesses = d.page_faults.div_ceil(d.pages.max(1));
+        }
+        for &(layer, ns) in layer_times {
+            if let Some(slot) = self.layer_times_ns.get_mut(layer) {
+                *slot = ns;
+            }
+        }
+        self.layer_time_prefix = ProfileReport::prefix_sums(&self.layer_times_ns);
+        self.faults = self.total_page_faults();
+    }
+
     /// Mean per-layer time.
     #[must_use]
     pub fn mean_layer_time(&self) -> Ns {
@@ -207,6 +248,22 @@ mod tests {
     fn prefix_sums_shape() {
         assert_eq!(ProfileReport::prefix_sums(&[]), vec![0]);
         assert_eq!(ProfileReport::prefix_sums(&[10, 20, 30]), vec![0, 10, 30, 60]);
+    }
+
+    #[test]
+    fn merge_observation_replaces_named_tensors_and_layers() {
+        let mut r = report();
+        r.merge_observation(
+            &[TensorDelta { id: TensorId(1), page_faults: 9, pages: 2 }],
+            &[(1, 200), (7, 999)], // layer 7 is out of range: skipped
+        );
+        assert_eq!(r.tensor(TensorId(1)).page_faults, 9);
+        assert_eq!(r.tensor(TensorId(1)).mm_accesses, 5); // ceil(9 / 2)
+        assert_eq!(r.tensor(TensorId(0)).page_faults, 5); // untouched
+        assert_eq!(r.layer_times_ns, vec![10, 200, 30]);
+        assert_eq!(r.layer_time_prefix, vec![0, 10, 210, 240]);
+        assert_eq!(r.time_for_layers(0, 3), 240);
+        assert_eq!(r.faults, 5 + 9 + 1); // rebuilt total
     }
 
     #[test]

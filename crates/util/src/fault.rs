@@ -20,6 +20,68 @@
 
 use crate::rng::Rng;
 
+/// Every `key=value` knob accepted by [`FaultProfile::parse`], in field
+/// order. Unknown-key errors echo this list so a typo in
+/// `SENTINEL_FAULT_PROFILE` is self-correcting from the message alone.
+pub const FAULT_PROFILE_KEYS: &[&str] = &[
+    "slow_degrade_rate",
+    "slow_degrade_factor",
+    "migration_stall_rate",
+    "stall_ns",
+    "migration_failure_rate",
+    "spurious_fault_rate",
+    "lost_fault_rate",
+    "pressure_rate",
+    "pressure_max_pages",
+];
+
+/// Typed failure from [`FaultProfile::parse`]. Rendered through `Display`
+/// for env-var error paths ([`fault_env`]); matched structurally in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultParseError {
+    /// A comma-separated entry had no `=`.
+    NotKeyValue(String),
+    /// A value failed to parse for its key.
+    BadValue {
+        /// The knob whose value was malformed.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// A key is not one of [`FAULT_PROFILE_KEYS`].
+    UnknownKey(String),
+    /// A rate fell outside `[0, 1]`.
+    RateOutOfRange(String),
+    /// `slow_degrade_factor` was below `1.0`.
+    DegradeFactorTooSmall(f64),
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultParseError::NotKeyValue(part) => {
+                write!(f, "fault profile entry {part:?} is not key=value")
+            }
+            FaultParseError::BadValue { key, value } => {
+                write!(f, "bad value for {key}: {value:?}")
+            }
+            FaultParseError::UnknownKey(key) => {
+                write!(
+                    f,
+                    "unknown fault profile key {key:?} (valid keys: {})",
+                    FAULT_PROFILE_KEYS.join(", ")
+                )
+            }
+            FaultParseError::RateOutOfRange(spec) => {
+                write!(f, "fault rates must lie in [0, 1]: {spec:?}")
+            }
+            FaultParseError::DegradeFactorTooSmall(v) => {
+                write!(f, "slow_degrade_factor must be >= 1.0: {v}")
+            }
+        }
+    }
+}
+
 /// Fault rates and magnitudes. All rates are probabilities in `[0, 1]`;
 /// a rate of exactly `0.0` disables the knob without consuming entropy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +178,9 @@ impl FaultProfile {
     ///
     /// # Errors
     ///
-    /// A human-readable message naming the offending key or value.
-    pub fn parse(spec: &str) -> Result<FaultProfile, String> {
+    /// A [`FaultParseError`] naming the offending key or value; unknown
+    /// keys list the valid knobs ([`FAULT_PROFILE_KEYS`]).
+    pub fn parse(spec: &str) -> Result<FaultProfile, FaultParseError> {
         match spec.trim() {
             "off" => return Ok(FaultProfile::off()),
             "light" => return Ok(FaultProfile::light()),
@@ -132,9 +195,11 @@ impl FaultProfile {
             }
             let (key, value) = part
                 .split_once('=')
-                .ok_or_else(|| format!("fault profile entry {part:?} is not key=value"))?;
-            let fv = || value.parse::<f64>().map_err(|_| format!("bad value for {key}: {value:?}"));
-            let uv = || value.parse::<u64>().map_err(|_| format!("bad value for {key}: {value:?}"));
+                .ok_or_else(|| FaultParseError::NotKeyValue(part.to_string()))?;
+            let bad =
+                || FaultParseError::BadValue { key: key.trim().to_string(), value: value.to_string() };
+            let fv = || value.parse::<f64>().map_err(|_| bad());
+            let uv = || value.parse::<u64>().map_err(|_| bad());
             match key.trim() {
                 "slow_degrade_rate" => p.slow_degrade_rate = fv()?,
                 "slow_degrade_factor" => p.slow_degrade_factor = fv()?,
@@ -145,7 +210,7 @@ impl FaultProfile {
                 "lost_fault_rate" => p.lost_fault_rate = fv()?,
                 "pressure_rate" => p.pressure_rate = fv()?,
                 "pressure_max_pages" => p.pressure_max_pages = uv()?,
-                other => return Err(format!("unknown fault profile key {other:?}")),
+                other => return Err(FaultParseError::UnknownKey(other.to_string())),
             }
         }
         let rates = [
@@ -157,10 +222,10 @@ impl FaultProfile {
             p.pressure_rate,
         ];
         if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
-            return Err(format!("fault rates must lie in [0, 1]: {spec:?}"));
+            return Err(FaultParseError::RateOutOfRange(spec.to_string()));
         }
         if p.slow_degrade_factor < 1.0 {
-            return Err(format!("slow_degrade_factor must be >= 1.0: {}", p.slow_degrade_factor));
+            return Err(FaultParseError::DegradeFactorTooSmall(p.slow_degrade_factor));
         }
         Ok(p)
     }
@@ -423,6 +488,41 @@ mod tests {
         assert!(FaultProfile::parse("nope=1").is_err());
         assert!(FaultProfile::parse("migration_failure_rate=2.0").is_err());
         assert!(FaultProfile::parse("slow_degrade_factor=0.5").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_unknown_keys_list_valid_knobs() {
+        assert_eq!(
+            FaultProfile::parse("stall_nz=7"),
+            Err(FaultParseError::UnknownKey("stall_nz".to_string()))
+        );
+        let msg = FaultProfile::parse("stall_nz=7").unwrap_err().to_string();
+        assert!(msg.contains("unknown fault profile key \"stall_nz\""), "{msg}");
+        for key in FAULT_PROFILE_KEYS {
+            assert!(msg.contains(key), "error message omits valid knob {key}: {msg}");
+            // Every advertised knob actually parses (1 is valid for all:
+            // rates top out at 1.0 and the factor bottoms out at 1.0).
+            assert!(FaultProfile::parse(&format!("{key}=1")).is_ok(), "{key}");
+        }
+        assert_eq!(
+            FaultProfile::parse("stall_ns"),
+            Err(FaultParseError::NotKeyValue("stall_ns".to_string()))
+        );
+        assert_eq!(
+            FaultProfile::parse("stall_ns=abc"),
+            Err(FaultParseError::BadValue {
+                key: "stall_ns".to_string(),
+                value: "abc".to_string()
+            })
+        );
+        assert_eq!(
+            FaultProfile::parse("pressure_rate=1.5"),
+            Err(FaultParseError::RateOutOfRange("pressure_rate=1.5".to_string()))
+        );
+        assert_eq!(
+            FaultProfile::parse("slow_degrade_factor=0.5"),
+            Err(FaultParseError::DegradeFactorTooSmall(0.5))
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod rng;
 pub mod timing;
 pub mod trace;
 
-pub use fault::{derive_seed, fault_env, FaultCounters, FaultInjector, FaultProfile};
+pub use fault::{
+    derive_seed, fault_env, FaultCounters, FaultInjector, FaultParseError, FaultProfile,
+    FAULT_PROFILE_KEYS,
+};
 pub use json::{Json, JsonError, ToJson};
 pub use trace::{trace_env, Trace, TraceEvent, TraceHandle, TraceLevel, TraceTrack};
 pub use pool::{default_jobs, par_map, set_default_jobs, Pool};

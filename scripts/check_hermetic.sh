@@ -43,6 +43,13 @@ echo "== chaos smoke: fixed-seed faulty run completes end to end =="
 SENTINEL_FAULT_SEED=0xFA17 SENTINEL_FAULT_PROFILE=light \
     cargo run -q --offline --release -p sentinel-bench --bin run_experiments -- --fast --jobs 2 chaos
 
+echo "== adaptation: degradation ladder + becalmed-loop byte-transparency =="
+cargo test -q --offline -p sentinel-core --test adaptive_degradation
+cargo test -q --offline -p sentinel-core --test adaptive_transparency
+
+echo "== adaptation: drift-adaptive run recovers to the shrunk-machine oracle =="
+cargo test -q --offline -p sentinel-bench --test adaptive_recovery
+
 echo "== cluster invariants: randomized traces x quota policies x faults =="
 # Fast default case count; SENTINEL_PROP_CASES opts into the full sweep.
 cargo test -q --offline --test cluster_invariants_prop
@@ -75,6 +82,15 @@ echo "== cluster smoke: seeded 3-tenant trace under quota pressure =="
         --fast --jobs 2 --tenants 3 --arrival-seed 0xC1A5 --min-quota-frac 0.1 cluster )
 if [[ ! -s "$trace_tmp/results/cluster.json" ]]; then
     echo "FAIL: cluster smoke wrote no results/cluster.json" >&2
+    exit 1
+fi
+
+echo "== adaptive smoke: mid-run co-tenant arrival, all three arms =="
+# Scratch cwd again: fast-mode results must not clobber the committed ones.
+( cd "$trace_tmp" && \
+    "$repo_root/target/release/run_experiments" --fast --jobs 2 adaptive )
+if [[ ! -s "$trace_tmp/results/adaptive.json" ]]; then
+    echo "FAIL: adaptive smoke wrote no results/adaptive.json" >&2
     exit 1
 fi
 

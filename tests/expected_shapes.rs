@@ -255,3 +255,52 @@ fn table5_max_batch_ordering_holds() {
         assert!(sentinel > tf, "{model}: Sentinel ({sentinel}) does not extend TensorFlow's batch ({tf})");
     }
 }
+
+/// Adaptation experiment (DESIGN §14): the three-arm schema is stable, the
+/// adaptive arm actually closes its loop (drift → one observation step →
+/// one re-solve, no warnings), static stays measurably above the oracle
+/// after the capacity loss, and adaptive recovers to near the oracle.
+#[test]
+fn adaptive_schema_and_recovery_shape() {
+    let data = run("adaptive");
+    let arms = rows(&data);
+    assert_eq!(arms.len(), 3);
+    for (arm, expected) in arms.iter().zip(["static", "adaptive", "oracle"]) {
+        assert_eq!(
+            arm.get("variant").map(|v| v.to_string()).unwrap_or_default(),
+            format!("\"{expected}\"")
+        );
+        for key in [
+            "pre_change_step_ns",
+            "post_change_step_ns",
+            "worst_post_step_ns",
+            "drift_events",
+            "observation_steps",
+            "resolves",
+            "warnings",
+        ] {
+            assert!(num(arm, key) >= 0.0, "{expected}: missing field {key}");
+        }
+        assert!(matches!(arm.get("step_ns"), Some(Json::Arr(v)) if !v.is_empty()));
+    }
+    let (stat, adap, orac) = (&arms[0], &arms[1], &arms[2]);
+    assert_eq!(num(adap, "drift_events"), 1.0);
+    assert_eq!(num(adap, "observation_steps"), 1.0);
+    assert_eq!(num(adap, "resolves"), 1.0);
+    for arm in [stat, orac] {
+        assert_eq!(num(arm, "resolves"), 0.0, "only the adaptive arm may re-solve");
+    }
+    for arm in [stat, adap, orac] {
+        assert_eq!(num(arm, "warnings"), 0.0, "no degradation warnings on the healthy path");
+    }
+    let oracle_post = num(orac, "post_change_step_ns");
+    assert!(
+        num(stat, "post_change_step_ns") > oracle_post * 1.05,
+        "static must stay degraded versus the oracle"
+    );
+    assert!(
+        num(adap, "post_change_step_ns") < oracle_post * 1.05,
+        "adaptive must recover to within 5% of the oracle"
+    );
+    assert!(num(adap, "post_change_step_ns") < num(stat, "post_change_step_ns"));
+}

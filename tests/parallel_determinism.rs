@@ -24,7 +24,7 @@ fn render(id: &str, jobs: usize) -> String {
 
 #[test]
 fn fast_subset_is_byte_identical_at_any_job_count() {
-    for id in ["fig10", "table5", "fig12"] {
+    for id in ["fig10", "table5", "fig12", "adaptive"] {
         let serial = render(id, 1);
         let parallel = render(id, 4);
         assert_eq!(
