@@ -53,5 +53,5 @@ pub use event::{EventKind, EventQueue, SimEvent};
 pub use interval::{solve_mil, solve_mil_reference, IntervalPlan, MilCandidate, MilSolution};
 pub use policy::{EvictedTensor, SentinelPolicy, SentinelStats};
 pub use reorg::{HotClass, ReorgPlan};
-pub use runtime::{fast_sized_for, SentinelOutcome, SentinelRuntime};
+pub use runtime::{fast_sized_for, RunEvent, SentinelOutcome, SentinelRuntime};
 pub use schedule::{IntervalSets, Schedule};

@@ -5,10 +5,10 @@ use crate::config::SentinelConfig;
 use crate::error::SentinelError;
 use crate::interval::MilSolution;
 use crate::policy::{SentinelPolicy, SentinelStats};
-use sentinel_dnn::{Executor, Graph, TrainReport};
+use sentinel_dnn::{Executor, Graph, MemoryManager, StepReport, TrainReport};
 use sentinel_mem::{
     FaultCounters, FaultInjector, FaultProfile, HmConfig, MemorySystem, SanitizerMode, TimeMode,
-    Trace, TraceHandle, TraceLevel,
+    Trace, TraceEvent, TraceHandle, TraceLevel,
 };
 use sentinel_profiler::ProfileReport;
 
@@ -20,6 +20,31 @@ pub fn fast_sized_for(cfg: HmConfig, graph: &Graph, fraction: f64) -> HmConfig {
     let peak = graph.peak_live_bytes() as f64;
     let bytes = (peak * fraction).ceil() as u64;
     cfg.with_fast_capacity(bytes.max(1 << 20))
+}
+
+/// One live event from a streaming run (see
+/// [`SentinelRuntime::train_streamed`]).
+///
+/// Events borrow from the in-progress run; observers that need to keep
+/// them (e.g. a wire server serializing frames) must copy what they need
+/// before returning.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunEvent<'a> {
+    /// A training step just completed. `trace` holds the trace events
+    /// recorded since the previous step event (empty unless tracing is
+    /// enabled); concatenating every step's slice plus the tail retained
+    /// in [`SentinelOutcome::trace`] reproduces the batch-run trace
+    /// exactly.
+    Step {
+        /// Zero-based step index (`report.step` carries the same value).
+        index: usize,
+        /// The step's full report, identical to the entry that will land
+        /// in [`SentinelOutcome::report`].
+        report: &'a StepReport,
+        /// Trace events drained since the last event.
+        trace: &'a [TraceEvent],
+    },
 }
 
 /// Outcome of one Sentinel training run.
@@ -141,6 +166,35 @@ impl SentinelRuntime {
     /// [`SentinelError::ZeroMigrationBudget`] if the short-lived
     /// reservation left the interval solver nothing to plan with.
     pub fn train(&self, graph: &Graph, steps: usize) -> Result<SentinelOutcome, SentinelError> {
+        let outcome = self.train_streamed(graph, steps, |_| true)?;
+        Ok(outcome.expect("run cannot be aborted: the batch observer never declines"))
+    }
+
+    /// Train `graph` for `steps` steps, invoking `observe` after every
+    /// completed step with the step's report and the trace events recorded
+    /// since the previous callback. The observer returns `true` to
+    /// continue; returning `false` aborts the run (e.g. the consuming
+    /// client disconnected), in which case `Ok(None)` is returned and no
+    /// final outcome is assembled.
+    ///
+    /// The streamed event sequence is byte-faithful to the batch path:
+    /// [`train`](Self::train) is this method with an always-`true`
+    /// observer, so for the same graph/config/seed the per-step reports,
+    /// interval ledger, final report and reassembled trace are identical
+    /// whether observed live or collected at the end.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`train`](Self::train).
+    pub fn train_streamed<F>(
+        &self,
+        graph: &Graph,
+        steps: usize,
+        mut observe: F,
+    ) -> Result<Option<SentinelOutcome>, SentinelError>
+    where
+        F: FnMut(RunEvent<'_>) -> bool,
+    {
         let mut mem = MemorySystem::new(self.hm.clone());
         mem.set_time_mode(self.time_mode);
         if let Some(retry) = self.cfg.retry {
@@ -157,23 +211,54 @@ impl SentinelRuntime {
         }
         let mut exec = Executor::new(graph, mem);
         let mut policy = SentinelPolicy::new(self.cfg.clone());
-        let report = exec.run(&mut policy, steps)?;
+
+        // The step loop mirrors `Executor::run` exactly, with a trace
+        // drain and observer callback between steps. Draining mid-run is
+        // invisible to the simulation (the tracer buffer is write-only
+        // state), so the concatenation of the per-step drains equals the
+        // single end-of-run drain of the batch path.
+        let mut report = TrainReport {
+            model: graph.name().to_owned(),
+            policy: policy.name().to_owned(),
+            batch: graph.batch(),
+            steps: Vec::with_capacity(steps),
+        };
+        let mut streamed_events: Vec<TraceEvent> = Vec::new();
+        for index in 0..steps {
+            let step = exec.run_step(&mut policy)?;
+            let drained = exec.ctx().mem().tracer().take().map(|t| t.events).unwrap_or_default();
+            let keep_going = observe(RunEvent::Step { index, report: &step, trace: &drained });
+            streamed_events.extend(drained);
+            report.steps.push(step);
+            if !keep_going {
+                return Ok(None);
+            }
+        }
+        policy.on_train_end(exec.ctx_mut());
+
         if let Some(e) = policy.take_solver_error() {
             return Err(e);
         }
         if let Some(detail) = policy.violation() {
             return Err(SentinelError::Invariant { detail: detail.to_string() });
         }
-        Ok(SentinelOutcome {
+        // Reassemble the full trace: everything streamed so far plus the
+        // tail recorded after the last step callback.
+        let trace = exec.ctx().mem().tracer().take().map(|tail| {
+            let mut events = streamed_events;
+            events.extend(tail.events);
+            Trace { level: tail.level, events }
+        });
+        Ok(Some(SentinelOutcome {
             steps_executed: report.steps_executed(),
             stats: policy.stats(),
             mil_solution: policy.mil_solution().cloned(),
             profile: policy.profile().cloned(),
             fault_counters: exec.ctx().mem().fault_counters(),
-            trace: exec.ctx().mem().tracer().take(),
+            trace,
             adapt: policy.adapt_report().cloned(),
             report,
-        })
+        }))
     }
 }
 
@@ -321,6 +406,73 @@ mod tests {
                 assert_eq!(abandoned, s.fault.abandoned_migrations, "step {}", s.step);
             }
         }
+    }
+
+    #[test]
+    fn streamed_run_is_byte_identical_to_batch() {
+        use sentinel_util::ToJson;
+
+        let g = graph();
+        let hm = fast_sized_for(optane(), &g, 0.2);
+        let runtime =
+            SentinelRuntime::new(SentinelConfig::default(), hm).with_trace(TraceLevel::Full);
+
+        let batch = runtime.train(&g, 6).unwrap();
+
+        let mut step_json: Vec<String> = Vec::new();
+        let mut streamed_trace: Vec<String> = Vec::new();
+        let streamed = runtime
+            .train_streamed(&g, 6, |event| {
+                let RunEvent::Step { index, report, trace } = event;
+                assert_eq!(index, report.step);
+                step_json.push(report.to_json().to_string());
+                streamed_trace.extend(trace.iter().map(|e| e.to_json().to_string()));
+                true
+            })
+            .unwrap()
+            .expect("observer never aborts");
+
+        // Per-step frames match the batch report entry for entry …
+        assert_eq!(step_json.len(), batch.report.steps.len());
+        for (streamed, batch_step) in step_json.iter().zip(&batch.report.steps) {
+            assert_eq!(streamed, &batch_step.to_json().to_string());
+        }
+        // … the final report and outcome match byte-for-byte …
+        assert_eq!(
+            streamed.report.to_json().to_string(),
+            batch.report.to_json().to_string()
+        );
+        assert_eq!(streamed.stats.to_json().to_string(), batch.stats.to_json().to_string());
+        // … and the streamed trace plus the retained tail reproduces the
+        // batch trace exactly.
+        let batch_trace = batch.trace.as_ref().unwrap();
+        let full_trace = streamed.trace.as_ref().unwrap();
+        assert_eq!(full_trace.events.len(), batch_trace.events.len());
+        let tail = &full_trace.events[streamed_trace.len()..];
+        let reassembled: Vec<String> = streamed_trace
+            .into_iter()
+            .chain(tail.iter().map(|e| e.to_json().to_string()))
+            .collect();
+        let expected: Vec<String> =
+            batch_trace.events.iter().map(|e| e.to_json().to_string()).collect();
+        assert_eq!(reassembled, expected);
+    }
+
+    #[test]
+    fn aborting_the_observer_stops_the_run() {
+        let g = graph();
+        let hm = fast_sized_for(optane(), &g, 0.2);
+        let runtime = SentinelRuntime::new(SentinelConfig::default(), hm);
+        let mut seen = 0usize;
+        let outcome = runtime
+            .train_streamed(&g, 8, |event| {
+                let RunEvent::Step { index, .. } = event;
+                seen = index + 1;
+                index < 2
+            })
+            .unwrap();
+        assert!(outcome.is_none(), "aborted run must not assemble an outcome");
+        assert_eq!(seen, 3, "observer sees the step it aborts on");
     }
 
     #[test]

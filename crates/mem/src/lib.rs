@@ -74,7 +74,7 @@ pub use system::{AccessKind, AccessReport, MemorySystem, RetryPolicy, SanitizerM
 // sentinel-util dependency.
 pub use sentinel_util::fault::{FaultCounters, FaultInjector, FaultProfile};
 // Likewise for the structured-trace hooks.
-pub use sentinel_util::trace::{Trace, TraceHandle, TraceLevel, TraceTrack};
+pub use sentinel_util::trace::{Trace, TraceEvent, TraceHandle, TraceLevel, TraceTrack};
 pub use table::{PageState, PageTable, Pte, PteRun, PteRuns};
 pub use tier::Tier;
 

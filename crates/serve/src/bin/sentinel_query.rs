@@ -1,0 +1,77 @@
+//! `sentinel_query` — a one-shot command-line client for `sentineld`.
+//!
+//! ```text
+//! sentinel_query ADDR ping
+//! sentinel_query ADDR plan '<json request body>'
+//! sentinel_query ADDR run  '<json request body>'
+//! sentinel_query ADDR shutdown
+//! ```
+//!
+//! The request body is the full frame *minus* the `type` member, e.g.
+//! `{"model":{"family":"resnet","depth":32,"batch":8,"scale":4},
+//!   "machine":{"fast_fraction":0.2}}`. Responses print as one compact
+//! JSON document per line; a streamed run prints every `step` frame
+//! followed by the `run_complete` frame.
+
+use sentinel_serve::{Client, ClientError};
+use sentinel_util::Json;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: sentinel_query ADDR {ping|shutdown|plan [BODY]|run [BODY]}".to_owned()
+}
+
+/// Build a request frame: parse BODY (default `{}`) and prepend `type`.
+fn request_frame(ty: &str, body: Option<&str>) -> Result<Json, String> {
+    let body = body.unwrap_or("{}");
+    let parsed = Json::parse(body).map_err(|e| format!("bad request body: {e}"))?;
+    let Json::Obj(mut members) = parsed else {
+        return Err("request body must be a JSON object".to_owned());
+    };
+    members.insert(0, ("type".to_owned(), Json::Str(ty.to_owned())));
+    Ok(Json::Obj(members))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command) = match args.as_slice() {
+        [addr, command, rest @ ..] if rest.len() <= 1 => (addr, command),
+        _ => return Err(usage()),
+    };
+    let body = args.get(2).map(String::as_str);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let render = |e: ClientError| e.to_string();
+    match command.as_str() {
+        "ping" => {
+            client.ping().map_err(render)?;
+            println!("{}", Json::obj([("type", Json::Str("pong".into()))]));
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(render)?;
+            println!("{}", Json::obj([("type", Json::Str("shutting_down".into()))]));
+        }
+        "plan" => {
+            let reply = client.plan(&request_frame("plan", body)?).map_err(render)?;
+            println!("{reply}");
+        }
+        "run" => {
+            let complete = client
+                .run_streamed(&request_frame("run", body)?, |step| println!("{step}"))
+                .map_err(render)?;
+            println!("{complete}");
+        }
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

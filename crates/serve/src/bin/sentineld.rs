@@ -1,0 +1,73 @@
+//! `sentineld` — the long-running Sentinel plan/run daemon.
+//!
+//! ```text
+//! sentineld [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7171`; port `0` picks an ephemeral port),
+//! prints `sentineld listening on <addr>` on stdout once ready, and serves
+//! until a client sends a `shutdown` frame. Exit code 0 means every worker
+//! thread was joined — no stray threads survive a clean shutdown.
+
+use sentinel_serve::Server;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { addr: "127.0.0.1:7171".to_owned(), workers: 4 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                args.workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("--workers must be 1..=64, got {n:?}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: sentineld [--addr HOST:PORT] [--workers N]".to_owned())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&args.addr, args.workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sentineld: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("sentineld listening on {addr}"),
+        Err(e) => {
+            eprintln!("sentineld: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("sentineld: fatal: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("sentineld: shut down cleanly");
+    ExitCode::SUCCESS
+}

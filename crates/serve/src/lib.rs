@@ -1,0 +1,32 @@
+//! # sentinel-serve — the `sentineld` wire service
+//!
+//! Turns the batch Sentinel simulator into a long-running daemon without
+//! touching the byte-determinism contract: the server drives the exact
+//! same [`sentinel_core::SentinelRuntime`] pipeline, observed live through
+//! [`sentinel_core::SentinelRuntime::train_streamed`].
+//!
+//! Three layers, all zero-dependency:
+//!
+//! * [`codec`] — length-prefixed compact-JSON framing over any
+//!   `Read`/`Write` transport, hardened for untrusted peers (typed
+//!   [`codec::WireError`] taxonomy; size/UTF-8/depth limits enforced
+//!   before allocation or trust).
+//! * [`msg`] — request schemas ([`msg::Request`], [`msg::RunSpec`]), the
+//!   stable wire error-code list ([`msg::RequestError::CODES`]) and
+//!   response frame builders. DESIGN §15 is the normative reference.
+//! * [`server`] / [`client`] — the multiplexing daemon core (one acceptor
+//!   plus N connection handlers on [`sentinel_util::pool::Pool`], graceful
+//!   shutdown, per-connection panic isolation) and a blocking client.
+//!
+//! Binaries: `sentineld` (the daemon) and `sentinel_query` (a one-shot
+//! command-line client). See the README quick-start.
+
+pub mod client;
+pub mod codec;
+pub mod msg;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use codec::{read_frame, write_frame, WireError, MAX_FRAME_BYTES_DEFAULT};
+pub use msg::{Request, RequestError, RunSpec};
+pub use server::Server;

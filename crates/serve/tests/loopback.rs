@@ -1,0 +1,238 @@
+//! Loopback integration suite for `sentineld`: concurrent clients, a
+//! malformed/truncated/oversized-frame corpus, client death mid-stream,
+//! and graceful shutdown. Each test spins a real server on an ephemeral
+//! loopback port and drives it over TCP.
+
+use sentinel_serve::{write_frame, Client, ClientError, Server};
+use sentinel_util::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Start a server with `workers` handlers; returns its address plus a
+/// join guard that requests shutdown and joins the server thread on drop.
+fn spawn_server(workers: usize) -> (SocketAddr, ServerGuard) {
+    let server = std::sync::Arc::new(
+        Server::bind("127.0.0.1:0", workers).expect("bind loopback"),
+    );
+    let addr = server.local_addr().expect("bound address");
+    let joined = std::sync::Arc::new(AtomicBool::new(false));
+    let thread = {
+        let server = server.clone();
+        let joined = joined.clone();
+        std::thread::spawn(move || {
+            server.run().expect("server run");
+            joined.store(true, Ordering::SeqCst);
+        })
+    };
+    (addr, ServerGuard { server, thread: Some(thread), joined })
+}
+
+struct ServerGuard {
+    server: std::sync::Arc<Server>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    joined: std::sync::Arc<AtomicBool>,
+}
+
+impl ServerGuard {
+    /// Wait for the server thread to retire (proves no stray threads).
+    fn join(mut self) {
+        self.server.request_shutdown();
+        self.thread.take().expect("not yet joined").join().expect("server thread");
+        assert!(self.joined.load(Ordering::SeqCst));
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn tiny_run_body() -> Json {
+    Json::parse(
+        r#"{"model":{"family":"resnet","depth":32,"batch":8,"scale":4},
+            "machine":{"fast_fraction":0.2},
+            "steps":4}"#,
+    )
+    .unwrap()
+}
+
+fn with_type(ty: &str, body: Json) -> Json {
+    let Json::Obj(mut members) = body else { panic!("body must be an object") };
+    members.insert(0, ("type".to_owned(), Json::Str(ty.to_owned())));
+    Json::Obj(members)
+}
+
+fn read_one_frame(stream: &mut TcpStream) -> Json {
+    sentinel_serve::read_frame(stream, sentinel_serve::MAX_FRAME_BYTES_DEFAULT)
+        .expect("response frame")
+}
+
+fn frame_type(frame: &Json) -> &str {
+    match frame.get("type") {
+        Some(Json::Str(s)) => s,
+        other => panic!("frame without type: {other:?}"),
+    }
+}
+
+#[test]
+fn ping_pong_and_clean_shutdown() {
+    let (addr, guard) = spawn_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown_server().unwrap();
+    guard.join();
+}
+
+#[test]
+fn concurrent_clients_are_served_in_parallel() {
+    let (addr, guard) = spawn_server(4);
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(addr).unwrap()).collect();
+    // All four connections are live at once; each must answer.
+    for client in &mut clients {
+        client.ping().unwrap();
+    }
+    // Interleave plan queries across connections.
+    let plan = with_type("plan", tiny_run_body());
+    let replies: Vec<Json> =
+        clients.iter_mut().map(|c| c.plan(&plan).unwrap()).collect();
+    for reply in &replies {
+        assert_eq!(frame_type(reply), "plan");
+        assert!(matches!(reply.get("mil"), Some(Json::U64(m)) if *m >= 1));
+        assert!(matches!(reply.get("predicted_step_ns"), Some(Json::U64(n)) if *n > 0));
+    }
+    // Identical queries from different connections get identical plans.
+    assert!(replies.windows(2).all(|w| w[0] == w[1]));
+    guard.join();
+}
+
+#[test]
+fn bad_frame_corpus_yields_typed_errors_and_server_survives() {
+    let (addr, guard) = spawn_server(2);
+
+    // Payload-level garbage: framing stays intact, so one connection can
+    // send the whole corpus and then still be served.
+    let payload_corpus: &[(&[u8], &str)] = &[
+        (b"{oops", "invalid-json"),
+        (b"[1,2,", "invalid-json"),
+        (b"\"\xC0\x80\"", "invalid-utf8"),           // overlong lead
+        (b"\"\x80abc\"", "invalid-utf8"),            // bare continuation
+        (b"nope", "invalid-json"),
+        (b"", "invalid-json"),                       // zero-length frame
+    ];
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for (payload, want_code) in payload_corpus {
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(payload);
+        stream.write_all(&frame).unwrap();
+        let reply = read_one_frame(&mut stream);
+        assert_eq!(frame_type(&reply), "error", "payload {payload:?}");
+        assert_eq!(
+            reply.get("code"),
+            Some(&Json::Str((*want_code).to_owned())),
+            "payload {payload:?}: {reply}"
+        );
+    }
+    // Deep nesting is its own typed code.
+    let deep = "[".repeat(4096) + &"]".repeat(4096);
+    let mut frame = (deep.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(deep.as_bytes());
+    stream.write_all(&frame).unwrap();
+    let reply = read_one_frame(&mut stream);
+    assert_eq!(reply.get("code"), Some(&Json::Str("too-deep".to_owned())));
+    // Schema violations are bad-request, still on the same connection.
+    write_frame(&mut stream, &Json::obj([("type", Json::Str("warp".into()))])).unwrap();
+    let reply = read_one_frame(&mut stream);
+    assert_eq!(reply.get("code"), Some(&Json::Str("bad-request".to_owned())));
+    // The abused connection still serves real requests.
+    write_frame(&mut stream, &Json::obj([("type", Json::Str("ping".into()))])).unwrap();
+    assert_eq!(frame_type(&read_one_frame(&mut stream)), "pong");
+    drop(stream);
+
+    // Oversized header: typed error frame, then the connection closes —
+    // but the server keeps serving other clients.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.write_all(b"doesn't matter").unwrap();
+    let reply = read_one_frame(&mut stream);
+    assert_eq!(reply.get("code"), Some(&Json::Str("oversized-frame".to_owned())));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection should close after oversized frame");
+    drop(stream);
+
+    // Truncated frame: header promises more than is sent, then the client
+    // dies. The handler must notice EOF and move on.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(b"only a few bytes").unwrap();
+    drop(stream);
+
+    // Run-level failures are typed error frames too (model too deep to
+    // build is impossible here, so use an impossible machine instead).
+    let mut client = Client::connect(addr).unwrap();
+    let body = Json::parse(
+        r#"{"model":{"family":"resnet","depth":32,"batch":8,"scale":4},
+            "machine":{"fast_capacity_bytes":65536,"slow_capacity_bytes":65536}}"#,
+    )
+    .unwrap();
+    match client.plan(&with_type("plan", body)) {
+        Err(ClientError::Server(code, _)) => assert_eq!(code, "run-failed"),
+        other => panic!("expected run-failed, got {other:?}"),
+    }
+    // That connection and the daemon both survive.
+    client.ping().unwrap();
+    guard.join();
+}
+
+#[test]
+fn client_disconnect_mid_stream_aborts_only_that_run() {
+    let (addr, guard) = spawn_server(2);
+
+    // Start a streamed run and read exactly one step frame, then vanish.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, &with_type("run", tiny_run_body())).unwrap();
+    assert_eq!(frame_type(&read_one_frame(&mut stream)), "run_started");
+    assert_eq!(frame_type(&read_one_frame(&mut stream)), "step");
+    drop(stream);
+
+    // The server is still healthy: a full run on a fresh connection
+    // completes with every step streamed.
+    let mut client = Client::connect(addr).unwrap();
+    let mut steps = 0usize;
+    let complete = client
+        .run_streamed(&with_type("run", tiny_run_body()), |_| steps += 1)
+        .unwrap();
+    assert_eq!(steps, 4);
+    assert_eq!(frame_type(&complete), "run_complete");
+    assert!(complete.get("report").is_some());
+    guard.join();
+}
+
+#[test]
+fn shutdown_frame_stops_the_daemon_for_everyone() {
+    let (addr, guard) = spawn_server(2);
+    let mut a = Client::connect(addr).unwrap();
+    a.ping().unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    b.shutdown_server().unwrap();
+    guard.join();
+    // New connections are refused (or accepted-then-dropped) after exit.
+    std::thread::sleep(Duration::from_millis(50));
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut buf = [0u8; 1];
+            assert!(
+                !matches!(stream.read(&mut buf), Ok(n) if n > 0),
+                "daemon answered after shutdown"
+            );
+        }
+    }
+}

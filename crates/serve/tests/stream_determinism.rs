@@ -1,0 +1,156 @@
+//! Determinism contract of the wire service: for the same model, machine,
+//! config and seed, the streamed event sequence and final report must be
+//! byte-identical to the batch runner's output — with one worker and with
+//! four, and with two identical runs streaming concurrently.
+
+use sentinel_core::{fast_sized_for, SentinelConfig, SentinelRuntime};
+use sentinel_mem::{HmConfig, TraceLevel};
+use sentinel_models::{ModelSpec, ModelZoo};
+use sentinel_serve::{Client, Server};
+use sentinel_util::{Json, ToJson};
+use std::net::SocketAddr;
+
+const STEPS: usize = 6;
+
+fn run_request() -> Json {
+    Json::parse(
+        r#"{"type":"run",
+            "model":{"family":"resnet","depth":32,"batch":8,"scale":4},
+            "machine":{"preset":"optane","fast_fraction":0.2},
+            "steps":6,
+            "trace":"full"}"#,
+    )
+    .unwrap()
+}
+
+/// The batch-runner ground truth for the wire run above.
+fn batch_outcome() -> sentinel_core::SentinelOutcome {
+    let graph = ModelZoo::build(&ModelSpec::resnet(32, 8).with_scale(4)).unwrap();
+    let hm = fast_sized_for(HmConfig::optane_like().without_cache(), &graph, 0.2);
+    SentinelRuntime::new(SentinelConfig::default(), hm)
+        .with_trace(TraceLevel::Full)
+        .train(&graph, STEPS)
+        .unwrap()
+}
+
+struct Streamed {
+    step_reports: Vec<String>,
+    trace: Vec<String>,
+    complete: Json,
+}
+
+fn stream_once(addr: SocketAddr) -> Streamed {
+    let mut client = Client::connect(addr).unwrap();
+    let mut step_reports = Vec::new();
+    let mut trace = Vec::new();
+    let complete = client
+        .run_streamed(&run_request(), |step| {
+            step_reports.push(step.get("report").expect("step.report").to_string());
+            let Some(Json::Arr(events)) = step.get("trace") else {
+                panic!("step.trace missing")
+            };
+            trace.extend(events.iter().map(Json::to_string));
+        })
+        .unwrap();
+    if let Some(Json::Arr(tail)) = complete.get("trace_tail") {
+        trace.extend(tail.iter().map(Json::to_string));
+    }
+    Streamed { step_reports, trace, complete }
+}
+
+/// Assert one streamed transcript equals the batch ground truth, byte for
+/// byte: per-step reports, final report, stats, and the reassembled trace
+/// (which includes the per-interval `IntervalRecord` ledger inside each
+/// step report).
+fn assert_matches_batch(streamed: &Streamed, batch: &sentinel_core::SentinelOutcome) {
+    let batch_steps: Vec<String> =
+        batch.report.steps.iter().map(|s| s.to_json().to_string()).collect();
+    assert_eq!(streamed.step_reports, batch_steps, "per-step frames diverge");
+
+    assert_eq!(
+        streamed.complete.get("report").expect("run_complete.report").to_string(),
+        batch.report.to_json().to_string(),
+        "final report diverges"
+    );
+    assert_eq!(
+        streamed.complete.get("stats").expect("run_complete.stats").to_string(),
+        batch.stats.to_json().to_string(),
+        "stats diverge"
+    );
+    assert_eq!(
+        streamed.complete.get("steps_executed"),
+        Some(&Json::U64(batch.steps_executed as u64))
+    );
+
+    let batch_trace: Vec<String> = batch
+        .trace
+        .as_ref()
+        .expect("batch trace recorded")
+        .events
+        .iter()
+        .map(|e| e.to_json().to_string())
+        .collect();
+    assert_eq!(streamed.trace, batch_trace, "streamed trace diverges");
+
+    // Ledger reconciliation on the *streamed* frames themselves: every
+    // step frame's interval records must sum to the step's own counters.
+    for step_json in &streamed.step_reports {
+        let step = Json::parse(step_json).unwrap();
+        let Some(Json::Arr(intervals)) = step.get("intervals") else { continue };
+        let sum = |key: &str| -> u64 {
+            intervals
+                .iter()
+                .map(|r| match r.get(key) {
+                    Some(Json::U64(n)) => *n,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let field = |key: &str| -> u64 {
+            match step.get(key) {
+                Some(Json::U64(n)) => *n,
+                _ => 0,
+            }
+        };
+        assert_eq!(sum("promoted_bytes"), field("promoted_bytes"), "{step_json}");
+        assert_eq!(sum("demoted_bytes"), field("demoted_bytes"), "{step_json}");
+    }
+}
+
+#[test]
+fn streamed_run_matches_batch_with_one_worker() {
+    let batch = batch_outcome();
+    let server = Server::bind("127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().unwrap());
+        let streamed = stream_once(addr);
+        assert!(!streamed.step_reports.is_empty());
+        assert_matches_batch(&streamed, &batch);
+        server.request_shutdown();
+        handle.join().unwrap();
+    });
+}
+
+#[test]
+fn streamed_runs_match_batch_with_four_workers_concurrently() {
+    let batch = batch_outcome();
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().unwrap());
+        // Two identical runs streaming at the same time on different
+        // connections: both transcripts must equal the batch ground truth
+        // (concurrency must not leak between simulations).
+        let a = scope.spawn(|| stream_once(addr));
+        let b = scope.spawn(|| stream_once(addr));
+        let (a, b) = (a.join().unwrap(), b.join().unwrap());
+        assert_eq!(a.step_reports, b.step_reports);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.complete, b.complete);
+        assert_matches_batch(&a, &batch);
+        assert_matches_batch(&b, &batch);
+        server.request_shutdown();
+        handle.join().unwrap();
+    });
+}

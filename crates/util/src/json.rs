@@ -1,12 +1,19 @@
 //! A minimal JSON value, writer and parser, plus the derive-free [`ToJson`]
 //! trait.
 //!
-//! This replaces `serde`/`serde_json` for experiment and report output. The
-//! workspace only ever *writes* JSON (machine-readable experiment payloads)
-//! and round-trips it in tests, so the surface is deliberately small:
+//! This replaces `serde`/`serde_json` for experiment and report output and
+//! for the `sentineld` wire protocol. The surface is deliberately small:
 //! a [`Json`] tree, escaping-correct compact/pretty writers, a strict
 //! recursive-descent parser, and [`ToJson`] implemented by hand (or via
 //! [`impl_to_json!`](crate::impl_to_json)) instead of a derive macro.
+//!
+//! The parser is safe on untrusted input: [`Json::parse_bytes`] validates
+//! UTF-8 explicitly and enforces a configurable maximum input size (both
+//! reported as typed [`JsonErrorKind`]s), and nesting past [`MAX_DEPTH`]
+//! is rejected. The writers are *iterative* (an explicit work stack, no
+//! recursion), so a programmatically built tree of any depth serializes
+//! without risking the thread stack — the parser-side depth limit remains
+//! the only bound, pinned by `tests/json_props.rs` in both directions.
 //!
 //! Numbers are normalized so writing and re-parsing a tree yields an equal
 //! tree: non-negative integers are always `U64`, negative integers `I64`,
@@ -30,11 +37,38 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-/// Parse error: byte offset plus message.
+/// What went wrong while parsing, beyond the human-readable message.
+/// Network-facing callers (the `sentineld` codec) branch on this to pick a
+/// typed wire error code instead of string-matching `message`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed JSON text (the default for grammar violations).
+    Syntax,
+    /// The input is not valid UTF-8 (only reachable through
+    /// [`Json::parse_bytes`]; `&str` input is valid by construction).
+    InvalidUtf8,
+    /// The input exceeds the caller's maximum size
+    /// ([`Json::parse_bytes_limited`]). `offset` carries the limit.
+    TooLarge,
+    /// Nesting exceeds [`MAX_DEPTH`].
+    TooDeep,
+}
+
+/// Parse error: byte offset, message, and a typed [`JsonErrorKind`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     pub offset: usize,
     pub message: String,
+    pub kind: JsonErrorKind,
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization (identical to [`Json::to_string`]), so values
+    /// drop into `format!`/`println!` — the wire layer and CLI clients
+    /// print frames this way.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
 }
 
 impl fmt::Display for JsonError {
@@ -92,7 +126,9 @@ impl Json {
         out
     }
 
-    fn write_compact(&self, out: &mut String) {
+    /// Emit a scalar (anything but a non-empty container) in compact form.
+    /// Containers are handled by the writers' explicit work stacks.
+    fn write_scalar(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -100,62 +136,102 @@ impl Json {
             Json::U64(v) => out.push_str(&v.to_string()),
             Json::F64(v) => write_f64(*v, out),
             Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write_compact(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(members) => {
-                out.push('{');
-                for (i, (k, v)) in members.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(k, out);
+            Json::Arr(_) => out.push_str("[]"),
+            Json::Obj(_) => out.push_str("{}"),
+        }
+    }
+
+    /// Iterative compact writer: an explicit LIFO work stack instead of
+    /// recursion, so serialization depth is bounded by the heap, not the
+    /// thread stack. The parser enforces [`MAX_DEPTH`]; a programmatically
+    /// built tree has no such bound and must still serialize safely.
+    fn write_compact(&self, out: &mut String) {
+        enum Work<'a> {
+            Value(&'a Json),
+            Key(&'a str),
+            Lit(&'static str),
+        }
+        let mut stack = vec![Work::Value(self)];
+        while let Some(work) = stack.pop() {
+            match work {
+                Work::Lit(text) => out.push_str(text),
+                Work::Key(key) => {
+                    write_escaped(key, out);
                     out.push(':');
-                    v.write_compact(out);
                 }
-                out.push('}');
+                Work::Value(Json::Arr(items)) if !items.is_empty() => {
+                    out.push('[');
+                    stack.push(Work::Lit("]"));
+                    for (i, item) in items.iter().enumerate().rev() {
+                        stack.push(Work::Value(item));
+                        if i > 0 {
+                            stack.push(Work::Lit(","));
+                        }
+                    }
+                }
+                Work::Value(Json::Obj(members)) if !members.is_empty() => {
+                    out.push('{');
+                    stack.push(Work::Lit("}"));
+                    for (i, (k, v)) in members.iter().enumerate().rev() {
+                        stack.push(Work::Value(v));
+                        stack.push(Work::Key(k));
+                        if i > 0 {
+                            stack.push(Work::Lit(","));
+                        }
+                    }
+                }
+                Work::Value(scalar) => scalar.write_scalar(out),
             }
         }
     }
 
+    /// Iterative pretty writer; byte-identical to the historical recursive
+    /// formatting (two-space indents, compact empty containers).
     fn write_pretty(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Arr(items) if !items.is_empty() => {
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(",\n");
-                    }
-                    indent(out, depth + 1);
-                    item.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(members) if !members.is_empty() => {
-                out.push_str("{\n");
-                for (i, (k, v)) in members.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(",\n");
-                    }
-                    indent(out, depth + 1);
-                    write_escaped(k, out);
+        enum Work<'a> {
+            Value(&'a Json, usize),
+            Key(&'a str),
+            Indent(usize),
+            Lit(&'static str),
+        }
+        let mut stack = vec![Work::Value(self, depth)];
+        while let Some(work) = stack.pop() {
+            match work {
+                Work::Lit(text) => out.push_str(text),
+                Work::Indent(depth) => indent(out, depth),
+                Work::Key(key) => {
+                    write_escaped(key, out);
                     out.push_str(": ");
-                    v.write_pretty(out, depth + 1);
                 }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
+                Work::Value(Json::Arr(items), depth) if !items.is_empty() => {
+                    out.push_str("[\n");
+                    stack.push(Work::Lit("]"));
+                    stack.push(Work::Indent(depth));
+                    stack.push(Work::Lit("\n"));
+                    for (i, item) in items.iter().enumerate().rev() {
+                        stack.push(Work::Value(item, depth + 1));
+                        stack.push(Work::Indent(depth + 1));
+                        if i > 0 {
+                            stack.push(Work::Lit(",\n"));
+                        }
+                    }
+                }
+                Work::Value(Json::Obj(members), depth) if !members.is_empty() => {
+                    out.push_str("{\n");
+                    stack.push(Work::Lit("}"));
+                    stack.push(Work::Indent(depth));
+                    stack.push(Work::Lit("\n"));
+                    for (i, (k, v)) in members.iter().enumerate().rev() {
+                        stack.push(Work::Value(v, depth + 1));
+                        stack.push(Work::Key(k));
+                        stack.push(Work::Indent(depth + 1));
+                        if i > 0 {
+                            stack.push(Work::Lit(",\n"));
+                        }
+                    }
+                }
+                Work::Value(scalar, _) => scalar.write_scalar(out),
             }
-            other => other.write_compact(out),
         }
     }
 
@@ -169,6 +245,49 @@ impl Json {
             return Err(p.err("trailing characters after value"));
         }
         Ok(value)
+    }
+
+    /// Strict parse of a complete JSON document from raw bytes, as read off
+    /// a socket: the input is validated as UTF-8 up front and the error is
+    /// typed ([`JsonErrorKind::InvalidUtf8`]) instead of a panic. The byte
+    /// parser itself also never trusts a lead byte (see `utf8_len`), so a
+    /// malformed sequence can never cause an out-of-bounds slice.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonErrorKind::InvalidUtf8`] with the offset of the first invalid
+    /// byte, or any [`Json::parse`] error.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+            offset: e.valid_up_to(),
+            message: format!("invalid utf-8 at byte {}", e.valid_up_to()),
+            kind: JsonErrorKind::InvalidUtf8,
+        })?;
+        Json::parse(text)
+    }
+
+    /// [`Json::parse_bytes`] with a maximum input size — the network-facing
+    /// entry point. Inputs longer than `max_bytes` are rejected *before*
+    /// any validation work with a typed [`JsonErrorKind::TooLarge`] error
+    /// (offset = `max_bytes`), so a hostile peer cannot make the parser
+    /// chew through an arbitrarily large payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonErrorKind::TooLarge`] when `bytes.len() > max_bytes`, plus
+    /// every [`Json::parse_bytes`] error.
+    pub fn parse_bytes_limited(bytes: &[u8], max_bytes: usize) -> Result<Json, JsonError> {
+        if bytes.len() > max_bytes {
+            return Err(JsonError {
+                offset: max_bytes,
+                message: format!(
+                    "input of {} bytes exceeds the {max_bytes}-byte limit",
+                    bytes.len()
+                ),
+                kind: JsonErrorKind::TooLarge,
+            });
+        }
+        Json::parse_bytes(bytes)
     }
 }
 
@@ -211,7 +330,8 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
-const MAX_DEPTH: usize = 128;
+/// Maximum nesting depth the parser accepts.
+pub const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -220,7 +340,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { offset: self.pos, message: message.to_owned() }
+        self.err_kind(message, JsonErrorKind::Syntax)
+    }
+
+    fn err_kind(&self, message: &str, kind: JsonErrorKind) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_owned(), kind }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -253,7 +377,7 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
         if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+            return Err(self.err_kind("nesting too deep", JsonErrorKind::TooDeep));
         }
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
@@ -369,12 +493,23 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(b) if b < 0x20 => return Err(self.err("control character in string")),
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
+                Some(lead) => {
+                    // Consume one UTF-8 character. The lead byte is never
+                    // trusted: a bare continuation byte (0x80..=0xBF), an
+                    // overlong lead (0xC0/0xC1) or an out-of-range lead
+                    // (0xF5..) has no valid length, and a well-formed lead
+                    // followed by bad continuation bytes fails the
+                    // `from_utf8` check — so untrusted byte input can never
+                    // slice out of bounds or split a character.
+                    let invalid =
+                        || self.err_kind("invalid utf-8 in string", JsonErrorKind::InvalidUtf8);
+                    let len = utf8_len(lead).ok_or_else(invalid)?;
                     let rest = &self.bytes[self.pos..];
-                    let len = utf8_len(rest[0]);
-                    out.push_str(std::str::from_utf8(&rest[..len]).expect("valid utf8"));
+                    if rest.len() < len {
+                        return Err(invalid());
+                    }
+                    let ch = std::str::from_utf8(&rest[..len]).map_err(|_| invalid())?;
+                    out.push_str(ch);
                     self.pos += len;
                 }
             }
@@ -430,12 +565,20 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn utf8_len(first: u8) -> usize {
+/// Sequence length implied by a UTF-8 lead byte, or `None` when the byte
+/// cannot begin a character: bare continuation bytes (`0x80..=0xBF`),
+/// overlong-encoding leads (`0xC0`/`0xC1`) and leads past the Unicode
+/// ceiling (`0xF5..=0xFF`). The historical version silently classified the
+/// first two groups as 2-byte leads and the last as 4-byte leads — harmless
+/// on `&str` input (which cannot contain them) but unsound for the byte
+/// parser, where a crafted lead could mislabel the character boundary.
+fn utf8_len(first: u8) -> Option<usize> {
     match first {
-        0x00..=0x7F => 1,
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        _ => 4,
+        0x00..=0x7F => Some(1),
+        0xC2..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF4 => Some(4),
+        _ => None,
     }
 }
 
@@ -678,5 +821,104 @@ mod tests {
         let j = Json::obj([("x", Json::U64(1))]);
         assert_eq!(j.get("x"), Some(&Json::U64(1)));
         assert_eq!(j.get("y"), None);
+    }
+
+    #[test]
+    fn parse_bytes_round_trips_valid_input() {
+        let j = Json::obj([("λ", Json::Str("€😀".into())), ("n", Json::U64(7))]);
+        let text = j.to_string();
+        assert_eq!(Json::parse_bytes(text.as_bytes()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_bytes_rejects_invalid_utf8_with_typed_error() {
+        // 0xFF can never appear in UTF-8.
+        let e = Json::parse_bytes(b"\"a\xFFb\"").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::InvalidUtf8);
+        assert_eq!(e.offset, 2);
+        // Truncated multi-byte sequence at end of input.
+        let e = Json::parse_bytes(b"\"\xE2\x82\"").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::InvalidUtf8);
+    }
+
+    #[test]
+    fn parse_bytes_limit_is_enforced_before_parsing() {
+        let e = Json::parse_bytes_limited(b"[1,2,3,4,5]", 4).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooLarge);
+        assert_eq!(e.offset, 4);
+        assert_eq!(Json::parse_bytes_limited(b"[1]", 4).unwrap(), Json::arr([Json::U64(1)]));
+        // An exact fit is accepted: the limit is inclusive.
+        assert_eq!(Json::parse_bytes_limited(b"[17]", 4).unwrap(), Json::arr([Json::U64(17)]));
+    }
+
+    #[test]
+    fn utf8_len_rejects_continuation_and_overlong_leads() {
+        for lead in 0x80..=0xBFu8 {
+            assert_eq!(utf8_len(lead), None, "continuation byte {lead:#x} accepted as lead");
+        }
+        for lead in [0xC0u8, 0xC1, 0xF5, 0xF8, 0xFE, 0xFF] {
+            assert_eq!(utf8_len(lead), None, "invalid lead {lead:#x} accepted");
+        }
+        assert_eq!(utf8_len(b'a'), Some(1));
+        assert_eq!(utf8_len(0xC2), Some(2));
+        assert_eq!(utf8_len(0xE2), Some(3));
+        assert_eq!(utf8_len(0xF0), Some(4));
+    }
+
+    #[test]
+    fn nesting_past_max_depth_is_a_typed_error() {
+        let text = format!("{}1{}", "[".repeat(MAX_DEPTH + 2), "]".repeat(MAX_DEPTH + 2));
+        let e = Json::parse(&text).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        // One level inside the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    /// Build a tree of `depth` nested single-element arrays around a leaf,
+    /// and a matching dismantler (popping layer by layer) so dropping the
+    /// deep tree cannot itself recurse through drop glue.
+    fn deep_tree(depth: usize) -> Json {
+        let mut j = Json::U64(7);
+        for _ in 0..depth {
+            j = Json::Arr(vec![j]);
+        }
+        j
+    }
+
+    fn dismantle(mut j: Json) {
+        loop {
+            match j {
+                Json::Arr(mut items) => match items.pop() {
+                    Some(inner) => j = inner, // the emptied wrapper drops O(1)
+                    None => break,
+                },
+                _ => break,
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_is_stack_safe_on_very_deep_trees() {
+        // Far past any plausible thread-stack budget for a recursive
+        // writer; the iterative writers only grow a heap Vec.
+        let depth = 200_000;
+        let j = deep_tree(depth);
+        let compact = j.to_string();
+        assert_eq!(compact.len(), 2 * depth + 1);
+        assert!(compact.starts_with("[[") && compact.ends_with("]]"));
+        dismantle(j);
+        // Pretty output carries per-level indentation, so its size is
+        // quadratic in depth — exercise it past the stack budget but at a
+        // depth whose output stays small.
+        let depth = 3_000;
+        let j = deep_tree(depth);
+        let pretty = j.to_pretty_string();
+        assert!(pretty.starts_with("[\n"));
+        let compact = j.to_string();
+        // Serialize side has no depth bound; the parse side keeps its
+        // typed limit, so the round trip of a too-deep tree fails *safely*.
+        assert_eq!(Json::parse(&compact).unwrap_err().kind, JsonErrorKind::TooDeep);
+        dismantle(j);
     }
 }

@@ -36,7 +36,7 @@ pub use fault::{
     derive_seed, fault_env, FaultCounters, FaultInjector, FaultParseError, FaultProfile,
     FAULT_PROFILE_KEYS,
 };
-pub use json::{Json, JsonError, ToJson};
+pub use json::{Json, JsonError, JsonErrorKind, ToJson, MAX_DEPTH};
 pub use trace::{trace_env, Trace, TraceEvent, TraceHandle, TraceLevel, TraceTrack};
 pub use pool::{default_jobs, par_map, set_default_jobs, Pool};
 pub use prop::{check, no_shrink, shrink_u64, shrink_usize, shrink_vec, PropConfig};

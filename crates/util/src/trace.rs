@@ -130,6 +130,33 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, Json)>,
 }
 
+impl crate::ToJson for TraceEvent {
+    /// Raw (non-Chrome) serialization used by the `sentineld` event stream:
+    /// one object per event with the simulated-time fields kept as exact
+    /// integer nanoseconds, `args` emitted only when non-empty. Feeding the
+    /// reassembled stream through [`Trace::to_chrome_json`] on the client
+    /// reproduces the batch exporter's bytes exactly.
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("cat".to_owned(), Json::Str(self.cat.to_owned())),
+            ("ph".to_owned(), Json::Str(self.phase.to_string())),
+            ("track".to_owned(), Json::Str(self.track.label().to_owned())),
+            ("ts_ns".to_owned(), Json::U64(self.ts_ns)),
+        ];
+        if self.phase == 'X' {
+            members.push(("dur_ns".to_owned(), Json::U64(self.dur_ns)));
+        }
+        if !self.args.is_empty() {
+            members.push((
+                "args".to_owned(),
+                Json::Obj(self.args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect()),
+            ));
+        }
+        Json::Obj(members)
+    }
+}
+
 /// A finished trace: the drained event buffer plus the level it was
 /// recorded at.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -94,6 +94,55 @@ if [[ ! -s "$trace_tmp/results/adaptive.json" ]]; then
     exit 1
 fi
 
+echo "== wire layer: loopback daemon suite + streamed/batch byte-identity =="
+cargo test -q --offline -p sentinel-serve --test loopback
+cargo test -q --offline -p sentinel-serve --test stream_determinism
+
+echo "== daemon smoke: ephemeral port, plan query, streamed run, clean exit =="
+daemon_log="$trace_tmp/sentineld.log"
+"$repo_root/target/release/sentineld" --addr 127.0.0.1:0 --workers 2 \
+    > "$daemon_log" 2>&1 &
+daemon_pid=$!
+daemon_addr=""
+for _ in $(seq 1 100); do
+    daemon_addr=$(sed -n 's/^sentineld listening on //p' "$daemon_log")
+    [[ -n "$daemon_addr" ]] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "FAIL: sentineld died before binding:" >&2
+        cat "$daemon_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$daemon_addr" ]]; then
+    echo "FAIL: sentineld never reported its address" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+query="$repo_root/target/release/sentinel_query"
+body='{"model":{"family":"resnet","depth":32,"batch":8,"scale":4},"machine":{"fast_fraction":0.2},"steps":4}'
+plan_out=$("$query" "$daemon_addr" plan "$body")
+if [[ "$plan_out" != *'"type":"plan"'* || "$plan_out" != *'"mil":'* ]]; then
+    echo "FAIL: plan query returned: $plan_out" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+run_out=$("$query" "$daemon_addr" run "$body")
+step_count=$(grep -c '"type":"step"' <<< "$run_out" || true)
+if [[ "$step_count" -ne 4 || "$run_out" != *'"type":"run_complete"'* ]]; then
+    echo "FAIL: streamed run returned $step_count step frames: $run_out" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+"$query" "$daemon_addr" shutdown > /dev/null
+# A clean `wait` proves every worker thread was joined — the scoped pool
+# cannot return with threads still alive, so exit 0 == no stray threads.
+if ! wait "$daemon_pid"; then
+    echo "FAIL: sentineld did not shut down cleanly:" >&2
+    cat "$daemon_log" >&2
+    exit 1
+fi
+
 echo "== dependency closure is sentinel-* only =="
 bad_lock=$(grep '^name = ' Cargo.lock | grep -v '"sentinel' || true)
 if [[ -n "$bad_lock" ]]; then

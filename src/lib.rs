@@ -25,6 +25,9 @@
 //!   NUMA and Memory Mode).
 //! * [`bench`] — the experiment registry regenerating every table and
 //!   figure of the paper, runnable serially or on a worker pool.
+//! * [`serve`] — the `sentineld` daemon: a framed JSON-over-TCP wire
+//!   protocol serving placement-plan queries and live-streamed simulation
+//!   runs (binaries `sentineld` and `sentinel_query`).
 //! * [`util`] — zero-dependency runtime utilities (seeded RNG, JSON,
 //!   property-test harness, timing harness, scoped thread pool).
 //!
@@ -57,4 +60,5 @@ pub use sentinel_dnn as dnn;
 pub use sentinel_mem as mem;
 pub use sentinel_models as models;
 pub use sentinel_profiler as profiler;
+pub use sentinel_serve as serve;
 pub use sentinel_util as util;
